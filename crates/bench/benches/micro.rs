@@ -1,0 +1,132 @@
+//! Microbenchmarks of the substrate data structures the system is
+//! built on: the event queue, RNG, Zipfian sampler, hot-data sketch,
+//! mailbox, bank timing model and graph generator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ndpb_dram::{BankModel, Bus, DataAddr, DramTiming};
+use ndpb_proto::{Mailbox, Message};
+use ndpb_sim::{EventQueue, SimRng, SimTime};
+use ndpb_sketch::{HotSketch, SketchConfig};
+use ndpb_tasks::{Task, TaskArgs, TaskFnId, Timestamp};
+use ndpb_workloads::{Graph, Zipfian};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("micro/event_queue_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_ticks((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum += e;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("micro/simrng_1m", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc ^= rng.next_u64();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    c.bench_function("micro/zipf_100k", |b| {
+        let z = Zipfian::new(1 << 20, 0.75);
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc += z.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    c.bench_function("micro/sketch_record_100k", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            let mut s = HotSketch::new(SketchConfig::paper());
+            for i in 0..100_000u64 {
+                s.record(i % 1000, (i % 7) + 1, &mut rng);
+            }
+            black_box(s.hottest())
+        })
+    });
+}
+
+fn bench_mailbox(c: &mut Criterion) {
+    let task = Task::new(TaskFnId(0), Timestamp(0), DataAddr(0), 1, TaskArgs::EMPTY);
+    c.bench_function("micro/mailbox_push_drain_10k", |b| {
+        b.iter(|| {
+            let mut mb = Mailbox::new(1 << 20);
+            for _ in 0..10_000 {
+                mb.push(Message::Task(task, false)).unwrap();
+            }
+            let mut n = 0;
+            while !mb.is_empty() {
+                n += mb.drain_up_to(256).len();
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_bank(c: &mut Criterion) {
+    let timing = DramTiming::ddr4_2400();
+    c.bench_function("micro/bank_access_100k", |b| {
+        b.iter(|| {
+            let mut bank = BankModel::new();
+            let mut t = SimTime::ZERO;
+            for i in 0..100_000u64 {
+                t = bank.access(t, i % 64, 64, i % 3 == 0, &timing).end;
+            }
+            black_box(t)
+        })
+    });
+}
+
+fn bench_bus(c: &mut Criterion) {
+    c.bench_function("micro/bus_reserve_100k", |b| {
+        b.iter(|| {
+            let mut bus = Bus::new(64);
+            let mut t = SimTime::ZERO;
+            for _ in 0..100_000 {
+                t = bus.reserve(t, 256).end;
+            }
+            black_box(t)
+        })
+    });
+}
+
+fn bench_rmat(c: &mut Criterion) {
+    c.bench_function("micro/rmat_scale12", |b| {
+        b.iter(|| black_box(Graph::rmat(12, 32_768, 5)))
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_event_queue,
+        bench_rng,
+        bench_zipf,
+        bench_sketch,
+        bench_mailbox,
+        bench_bank,
+        bench_bus,
+        bench_rmat
+);
+criterion_main!(micro);

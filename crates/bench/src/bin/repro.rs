@@ -1,0 +1,580 @@
+//! `repro` — regenerate every table and figure of the NDPBridge paper.
+//!
+//! ```text
+//! cargo run --release -p ndpb-bench --bin repro -- <subcommand> [--tiny|--small|--full] [--apps a,b,c]
+//! ```
+//!
+//! Subcommands: `table1 table2 fig2 fig10 fig11 fig12 fig13 fig14a
+//! fig14b fig15 fig16a fig16b fig16c fig16d split-dimm all`.
+//!
+//! Absolute numbers will not match the paper (different substrate); the
+//! *shape* — orderings, approximate factors, crossovers — is the
+//! reproduction target. Each section prints the paper's reported
+//! numbers for comparison.
+
+use ndpb_bench::{format_speedup_table, matrix_geomean_speedup, run_matrix, Column};
+use ndpb_core::config::{SystemConfig, TriggerPolicy};
+use ndpb_core::design::DesignPoint;
+use ndpb_core::result::geomean;
+use ndpb_dram::Geometry;
+use ndpb_sketch::SketchConfig;
+use ndpb_workloads::{Scale, APP_NAMES};
+
+struct Opts {
+    scale: Scale,
+    apps: Vec<String>,
+    json: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut scale = Scale::Small;
+    let mut apps: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
+    let mut json = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tiny" => scale = Scale::Tiny,
+            "--small" => scale = Scale::Small,
+            "--full" => scale = Scale::Full,
+            "--apps" => {
+                if let Some(list) = it.next() {
+                    apps = list.split(',').map(str::to_string).collect();
+                }
+            }
+            "--json" => json = it.next().cloned(),
+            _ => {}
+        }
+    }
+    Opts { scale, apps, json }
+}
+
+/// Writes one JSON array of per-run records for a matrix (only when
+/// `--json` was given).
+fn dump_json(o: &Opts, matrix: &[Vec<ndpb_core::RunResult>]) {
+    let Some(path) = &o.json else { return };
+    let records: Vec<String> = matrix
+        .iter()
+        .flatten()
+        .map(|r| r.to_json())
+        .collect();
+    let body = format!("[\n{}\n]\n", records.join(",\n"));
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("failed to write {path}: {e}");
+    } else {
+        eprintln!("[wrote {} records to {path}]", records.len());
+    }
+}
+
+fn app_refs(o: &Opts) -> Vec<&str> {
+    o.apps.iter().map(String::as_str).collect()
+}
+
+fn table1() {
+    let c = SystemConfig::table1();
+    println!("== Table I: system configuration ==");
+    println!(
+        "NDP system   : {} channels x {} ranks x {} chips x {} banks = {} units",
+        c.geometry.channels,
+        c.geometry.ranks_per_channel,
+        c.geometry.chips_per_rank,
+        c.geometry.banks_per_chip,
+        c.geometry.total_units()
+    );
+    println!(
+        "Capacity     : {} GB total ({} MB per bank)",
+        c.geometry.total_units() as u64 * c.geometry.bank_bytes >> 30,
+        c.geometry.bank_bytes >> 20
+    );
+    println!("NDP core     : in-order, 400 MHz, 10 mW");
+    println!(
+        "DRAM bank    : {} ns CAS/RCD/RP, 150 pJ / 64-bit access",
+        c.timing.t_cas.as_ns().round()
+    );
+    println!(
+        "Unit SRAM    : isLent bitmap; dataBorrowed {} entries",
+        c.unit_borrowed_entries
+    );
+    println!(
+        "Unit DRAM    : {} MB mailbox, {} MB borrowed region",
+        c.mailbox_bytes >> 20,
+        c.borrowed_region_bytes >> 20
+    );
+    println!(
+        "Bridge SRAM  : {} kB scatter bufs, {} kB backup, {} kB mailbox, dataBorrowed {} entries",
+        c.scatter_buffer_bytes * c.geometry.units_per_rank() as u64 >> 10,
+        c.backup_buffer_bytes >> 10,
+        c.bridge_mailbox_bytes >> 10,
+        c.bridge_borrowed_entries
+    );
+    println!(
+        "Sketch       : {} buckets x {} entries",
+        c.sketch.buckets, c.sketch.entries_per_bucket
+    );
+    println!(
+        "Comm         : G_xfer = {} B, I_state = {} cycles, I_min = {} ticks",
+        c.g_xfer,
+        c.i_state_cycles,
+        c.i_min().ticks()
+    );
+}
+
+fn table2() {
+    println!("== Table II: evaluated designs ==");
+    println!("{:<8}{:<26}{}", "design", "communication", "load balancing");
+    for d in DesignPoint::table2() {
+        let comm = match d.comm_path() {
+            ndpb_core::CommPath::HostForward => "forwarded by host CPU",
+            ndpb_core::CommPath::Bridges => "bridges (ours)",
+            ndpb_core::CommPath::RowClone => "RowClone intra-chip",
+        };
+        let lb = d.lb_policy();
+        let lbs = if !lb.enabled {
+            "none".to_string()
+        } else if lb.hot_data {
+            "data-transfer-aware (ours)".to_string()
+        } else {
+            "work stealing".to_string()
+        };
+        println!("{:<8}{:<26}{}", d.to_string(), comm, lbs);
+    }
+}
+
+fn fig2(o: &Opts) {
+    println!("== Figure 2: tree traversal on baseline DRAM-bank NDP (design C) ==");
+    println!("paper: 32.9% wait time; large max-vs-average gap (512 units)\n");
+    let m = run_matrix(&["tree"], &[Column::Ndp(DesignPoint::C)], SystemConfig::table1, o.scale);
+    let r = &m[0][0];
+    println!(
+        "total (slowest unit): {:>12.1} us\naverage across units: {:>12.1} us  ({:.1}% of total)\nwait time fraction  : {:>11.1} %",
+        r.makespan.as_ns() / 1000.0,
+        r.avg_unit_time.as_ns() / 1000.0,
+        r.balance * 100.0,
+        r.wait_fraction * 100.0,
+    );
+}
+
+fn fig10(o: &Opts) {
+    println!("== Figure 10: C / B / W / O across applications ==");
+    println!("paper: B=1.51x, W=2.23x, O=2.98x over C on average; W can hurt tree\n");
+    let apps = app_refs(o);
+    let cols: Vec<Column> = DesignPoint::table2().iter().map(|&d| Column::Ndp(d)).collect();
+    let m = run_matrix(&apps, &cols, SystemConfig::table1, o.scale);
+    dump_json(o, &m);
+    print!("{}", format_speedup_table(&apps, &cols, &m));
+    println!("\nbalance (avg unit time / total, paper: B 22.4%, W 47.0%, O 59.0%):");
+    print!("{:<8}", "app");
+    for c in &cols {
+        print!("{:>10}", c.label());
+    }
+    println!();
+    for (i, app) in apps.iter().enumerate() {
+        print!("{app:<8}");
+        for j in 0..cols.len() {
+            print!("{:>9.1}%", m[i][j].balance * 100.0);
+        }
+        println!();
+    }
+    println!("\nwait fraction of total time (paper: C large, B 1.4%, W 18.6%, O 10.0%):");
+    print!("{:<8}", "app");
+    for c in &cols {
+        print!("{:>10}", c.label());
+    }
+    println!();
+    for (i, app) in apps.iter().enumerate() {
+        print!("{app:<8}");
+        for j in 0..cols.len() {
+            print!("{:>9.1}%", m[i][j].wait_fraction * 100.0);
+        }
+        println!();
+    }
+}
+
+fn fig11(o: &Opts) {
+    println!("== Figure 11: vs host-only (H) and RowClone (R) ==");
+    println!("paper: O=3.59x over H; R=1.35x over C; B=1.12x over R; O=2.23x over R\n");
+    let apps = app_refs(o);
+    let cols = [
+        Column::Host,
+        Column::Ndp(DesignPoint::C),
+        Column::Ndp(DesignPoint::R),
+        Column::Ndp(DesignPoint::B),
+        Column::Ndp(DesignPoint::O),
+    ];
+    let m = run_matrix(&apps, &cols, SystemConfig::table1, o.scale);
+    print!("{}", format_speedup_table(&apps, &cols, &m));
+    println!(
+        "\nO over H: {:.2}x   R over C: {:.2}x   B over R: {:.2}x   O over R: {:.2}x",
+        matrix_geomean_speedup(&m, 4, 0),
+        matrix_geomean_speedup(&m, 2, 1),
+        matrix_geomean_speedup(&m, 3, 2),
+        matrix_geomean_speedup(&m, 4, 2),
+    );
+}
+
+fn fig12(o: &Opts) {
+    println!("== Figure 12: scalability on pr, 64..1024 units ==");
+    println!("paper: speedups over baselines grow with scale; O@1024 = 1.68x O@512;");
+    println!("       W fails to beat B at 1024 units\n");
+    let cols: Vec<Column> = DesignPoint::table2().iter().map(|&d| Column::Ndp(d)).collect();
+    println!(
+        "{:<8}{:>10}{:>10}{:>10}{:>10}   (makespan us; speedup vs C-at-64-units)",
+        "units", "C", "B", "W", "O"
+    );
+    let mut base: Option<f64> = None;
+    for ranks in [1u32, 2, 4, 8, 16] {
+        let geom = Geometry::with_total_ranks(ranks);
+        let units = geom.total_units();
+        let m = run_matrix(
+            &["pr"],
+            &cols,
+            || SystemConfig::with_geometry(Geometry::with_total_ranks(ranks)),
+            o.scale,
+        );
+        let c0 = m[0][0].makespan.as_ns() / 1000.0;
+        if base.is_none() {
+            base = Some(c0);
+        }
+        print!("{units:<8}");
+        for j in 0..4 {
+            print!("{:>10.1}", m[0][j].makespan.as_ns() / 1000.0);
+        }
+        println!();
+    }
+    let _ = base;
+}
+
+fn fig13(o: &Opts) {
+    println!("== Figure 13: energy breakdown (core+SRAM / local DRAM / comm DRAM / static) ==");
+    println!("paper: O reduces total energy 56.4% vs C on average\n");
+    let apps = app_refs(o);
+    let cols: Vec<Column> = DesignPoint::table2().iter().map(|&d| Column::Ndp(d)).collect();
+    let m = run_matrix(&apps, &cols, SystemConfig::table1, o.scale);
+    println!(
+        "{:<8}{:<8}{:>12}{:>12}{:>12}{:>12}{:>12}",
+        "app", "design", "core+sram", "dram-local", "dram-comm", "static", "total(uJ)"
+    );
+    for (i, app) in apps.iter().enumerate() {
+        for (j, c) in cols.iter().enumerate() {
+            let e = &m[i][j].energy;
+            println!(
+                "{:<8}{:<8}{:>11.1}%{:>11.1}%{:>11.1}%{:>11.1}%{:>12.1}",
+                app,
+                c.label(),
+                e.fractions()[0] * 100.0,
+                e.fractions()[1] * 100.0,
+                e.fractions()[2] * 100.0,
+                e.fractions()[3] * 100.0,
+                e.total_pj() / 1e6,
+            );
+        }
+    }
+    let reductions: Vec<f64> = (0..apps.len())
+        .map(|i| m[i][3].energy.total_pj() / m[i][0].energy.total_pj())
+        .collect();
+    println!(
+        "\nO total energy vs C (geomean): {:.1}% (paper: 43.6%, i.e. a 56.4% reduction)",
+        geomean(&reductions) * 100.0
+    );
+}
+
+fn fig14a(o: &Opts) {
+    println!("== Figure 14a: data-transfer-aware LB ablation over W ==");
+    println!("paper: +Adv 1.046x, +Fine 1.19x, +Hot 1.29x, O 1.35x over W (geomean)\n");
+    let apps = app_refs(o);
+    let cols = [
+        Column::Ndp(DesignPoint::W),
+        Column::Ndp(DesignPoint::WAdv),
+        Column::Ndp(DesignPoint::WFine),
+        Column::Ndp(DesignPoint::WHot),
+        Column::Ndp(DesignPoint::O),
+    ];
+    let m = run_matrix(&apps, &cols, SystemConfig::table1, o.scale);
+    print!("{}", format_speedup_table(&apps, &cols, &m));
+}
+
+fn fig14b(o: &Opts) {
+    println!("== Figure 14b: dynamic communication triggering ==");
+    println!("paper: dynamic saves 29.5% access energy vs fixed I_min at -0.4% perf;");
+    println!("       fixed 2*I_min loses 31% performance\n");
+    let apps = app_refs(o);
+    let policies = [
+        ("dynamic", TriggerPolicy::Dynamic),
+        ("I_min", TriggerPolicy::FixedIMin),
+        ("2*I_min", TriggerPolicy::Fixed2IMin),
+    ];
+    let mut results = Vec::new();
+    for (label, pol) in policies {
+        let m = run_matrix(
+            &app_refs(o),
+            &[Column::Ndp(DesignPoint::O)],
+            move || {
+                let mut c = SystemConfig::table1();
+                c.trigger = pol;
+                c
+            },
+            o.scale,
+        );
+        results.push((label, m));
+    }
+    println!(
+        "{:<10}{:>14}{:>18}{:>16}",
+        "trigger", "perf vs dyn", "comm energy", "wasted gathers"
+    );
+    let dyn_m = &results[0].1;
+    for (label, m) in &results {
+        let perf: Vec<f64> = (0..apps.len())
+            .map(|i| dyn_m[i][0].makespan.ticks() as f64 / m[i][0].makespan.ticks() as f64)
+            .collect();
+        let energy: Vec<f64> = (0..apps.len())
+            .map(|i| {
+                m[i][0].energy.dram_comm_pj
+                    / dyn_m[i][0].energy.dram_comm_pj.max(1.0)
+            })
+            .collect();
+        let wasted: u64 = (0..apps.len()).map(|i| m[i][0].comm_dram_bytes).sum();
+        println!(
+            "{:<10}{:>13.2}x{:>17.1}%{:>16}",
+            label,
+            geomean(&perf),
+            geomean(&energy) * 100.0,
+            wasted / 1024,
+        );
+    }
+}
+
+fn fig15(o: &Opts) {
+    println!("== Figure 15: chip DQ widths x4 / x8 / x16 ==");
+    println!("paper: O = 3.26x/2.98x/2.58x over C; B gains most at x4 (2.33x),");
+    println!("       LB gains most at x16 (W 1.79x, O 2.3x over B)\n");
+    let apps = app_refs(o);
+    let cols: Vec<Column> = DesignPoint::table2().iter().map(|&d| Column::Ndp(d)).collect();
+    for dq in [4u32, 8, 16] {
+        let m = run_matrix(
+            &apps,
+            &cols,
+            move || SystemConfig::with_geometry(Geometry::with_dq_bits(dq)),
+            o.scale,
+        );
+        println!(
+            "x{dq:<3} B/C {:>5.2}x  W/C {:>5.2}x  O/C {:>5.2}x  |  W/B {:>5.2}x  O/B {:>5.2}x",
+            matrix_geomean_speedup(&m, 1, 0),
+            matrix_geomean_speedup(&m, 2, 0),
+            matrix_geomean_speedup(&m, 3, 0),
+            matrix_geomean_speedup(&m, 2, 1),
+            matrix_geomean_speedup(&m, 3, 1),
+        );
+    }
+}
+
+fn fig16a(o: &Opts) {
+    println!("== Figure 16a: G_xfer x metadata-size sweep (design O) ==");
+    println!("paper: 256 B is the sweet spot; 64 B needs 4x metadata to win\n");
+    let apps = app_refs(o);
+    println!("{:<10}{:>12}{:>12}{:>12}   (geomean makespan vs 256B/1x)", "G_xfer", "1/4x meta", "1x meta", "4x meta");
+    let mut baseline: Option<f64> = None;
+    let mut rows = Vec::new();
+    for gx in [64u32, 256, 1024] {
+        let mut row = Vec::new();
+        for meta in [0.25f64, 1.0, 4.0] {
+            let m = run_matrix(
+                &apps,
+                &[Column::Ndp(DesignPoint::O)],
+                move || {
+                    let mut c = SystemConfig::table1().scale_metadata(meta);
+                    c.g_xfer = gx;
+                    c
+                },
+                o.scale,
+            );
+            let g = geomean(
+                &(0..apps.len())
+                    .map(|i| m[i][0].makespan.ticks() as f64)
+                    .collect::<Vec<_>>(),
+            );
+            if gx == 256 && meta == 1.0 {
+                baseline = Some(g);
+            }
+            row.push(g);
+        }
+        rows.push((gx, row));
+    }
+    let base = baseline.expect("256/1x in sweep");
+    for (gx, row) in rows {
+        println!(
+            "{:<10}{:>11.2}x{:>11.2}x{:>11.2}x",
+            format!("{gx}B"),
+            row[0] / base,
+            row[1] / base,
+            row[2] / base
+        );
+    }
+    println!("(>1 means slower than the default)");
+}
+
+fn fig16b(o: &Opts) {
+    println!("== Figure 16b: I_state sweep (design O) ==");
+    println!("paper: 2000 cycles retains performance\n");
+    let apps = app_refs(o);
+    let base = run_matrix(&apps, &[Column::Ndp(DesignPoint::O)], SystemConfig::table1, o.scale);
+    for i_state in [500u64, 1000, 2000, 4000, 8000] {
+        let m = run_matrix(
+            &apps,
+            &[Column::Ndp(DesignPoint::O)],
+            move || {
+                let mut c = SystemConfig::table1();
+                c.i_state_cycles = i_state;
+                c
+            },
+            o.scale,
+        );
+        let rel: Vec<f64> = (0..apps.len())
+            .map(|i| base[i][0].makespan.ticks() as f64 / m[i][0].makespan.ticks() as f64)
+            .collect();
+        println!("I_state={i_state:<6} perf vs 2000-cycle default: {:.3}x", geomean(&rel));
+    }
+}
+
+fn fig16cd(o: &Opts, buckets: bool) {
+    let (name, what) = if buckets {
+        ("fig16c", "sketch bucket count")
+    } else {
+        ("fig16d", "sketch entries per bucket")
+    };
+    println!("== Figure {name}: {what} sweep (design O) ==");
+    println!("paper: the 16x16 default is sufficient\n");
+    let apps = app_refs(o);
+    let base = run_matrix(&apps, &[Column::Ndp(DesignPoint::O)], SystemConfig::table1, o.scale);
+    for k in [4usize, 8, 16, 32] {
+        let m = run_matrix(
+            &apps,
+            &[Column::Ndp(DesignPoint::O)],
+            move || {
+                let mut c = SystemConfig::table1();
+                c.sketch = if buckets {
+                    SketchConfig::with_geometry(k, 16)
+                } else {
+                    SketchConfig::with_geometry(16, k)
+                };
+                c
+            },
+            o.scale,
+        );
+        let rel: Vec<f64> = (0..apps.len())
+            .map(|i| base[i][0].makespan.ticks() as f64 / m[i][0].makespan.ticks() as f64)
+            .collect();
+        println!("{what} = {k:<4} perf vs default: {:.3}x", geomean(&rel));
+    }
+}
+
+fn split_dimm(o: &Opts) {
+    println!("== Section VIII-A: split DIMM buffers (chameleon-s) ==");
+    println!("paper: 9.1% performance degradation, 35.3% more wait time\n");
+    let apps = app_refs(o);
+    let unified = run_matrix(&apps, &[Column::Ndp(DesignPoint::O)], SystemConfig::table1, o.scale);
+    let split = run_matrix(
+        &apps,
+        &[Column::Ndp(DesignPoint::O)],
+        || SystemConfig::with_geometry(Geometry::split_dimm_buffer()),
+        o.scale,
+    );
+    let perf: Vec<f64> = (0..apps.len())
+        .map(|i| split[i][0].makespan.ticks() as f64 / unified[i][0].makespan.ticks() as f64)
+        .collect();
+    let waits: Vec<f64> = (0..apps.len())
+        .map(|i| {
+            (split[i][0].wait_fraction + 1e-9) / (unified[i][0].wait_fraction + 1e-9)
+        })
+        .collect();
+    println!(
+        "split-DIMM slowdown: {:.1}% (geomean)   wait-time ratio: {:.2}x",
+        (geomean(&perf) - 1.0) * 100.0,
+        geomean(&waits)
+    );
+}
+
+fn dimm_link(o: &Opts) {
+    println!("== Extension: NDPBridge + DIMM-Link cross-rank links ==");
+    println!("(Section V-A: NDPBridge is orthogonal to and can work in tandem");
+    println!(" with DIMM-Link; the paper's evaluation uses plain DDR channels.)\n");
+    let apps = app_refs(o);
+    let base = run_matrix(&apps, &[Column::Ndp(DesignPoint::O)], SystemConfig::table1, o.scale);
+    let linked = run_matrix(
+        &apps,
+        &[Column::Ndp(DesignPoint::O)],
+        || SystemConfig::table1().with_dimm_link(),
+        o.scale,
+    );
+    println!("{:<8}{:>12}{:>14}{:>14}", "app", "speedup", "chan KB", "chan KB+link");
+    let mut sp = Vec::new();
+    for (i, app) in apps.iter().enumerate() {
+        let s = linked[i][0].speedup_over(&base[i][0]);
+        sp.push(s);
+        println!(
+            "{:<8}{:>11.2}x{:>14}{:>14}",
+            app,
+            s,
+            base[i][0].channel_bytes / 1024,
+            linked[i][0].channel_bytes / 1024,
+        );
+    }
+    println!("geomean {:>11.2}x", geomean(&sp));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let o = parse_opts(&args[1.min(args.len())..]);
+    let start = std::time::Instant::now();
+    match cmd {
+        "table1" => table1(),
+        "table2" => table2(),
+        "fig2" => fig2(&o),
+        "fig10" => fig10(&o),
+        "fig11" => fig11(&o),
+        "fig12" => fig12(&o),
+        "fig13" => fig13(&o),
+        "fig14a" => fig14a(&o),
+        "fig14b" => fig14b(&o),
+        "fig15" => fig15(&o),
+        "fig16a" => fig16a(&o),
+        "fig16b" => fig16b(&o),
+        "fig16c" => fig16cd(&o, true),
+        "fig16d" => fig16cd(&o, false),
+        "split-dimm" => split_dimm(&o),
+        "dimm-link" => dimm_link(&o),
+        "all" => {
+            table1();
+            println!();
+            table2();
+            for f in [
+                fig2 as fn(&Opts),
+                fig10,
+                fig11,
+                fig12,
+                fig13,
+                fig14a,
+                fig14b,
+                fig15,
+                fig16a,
+                fig16b,
+            ] {
+                println!();
+                f(&o);
+            }
+            println!();
+            fig16cd(&o, true);
+            println!();
+            fig16cd(&o, false);
+            println!();
+            split_dimm(&o);
+            println!();
+            dimm_link(&o);
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?}");
+            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|all> [--tiny|--small|--full] [--apps a,b,c]");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("\n[{} completed in {:.1?}]", cmd, start.elapsed());
+}

@@ -1,0 +1,152 @@
+//! Reproduction harness: run design points over applications and
+//! aggregate the numbers each table/figure of the paper reports.
+//!
+//! The `repro` binary (`src/bin/repro.rs`) exposes one subcommand per
+//! table/figure; the Criterion benches under `benches/` reuse the same
+//! entry points at reduced scale.
+
+use std::thread;
+
+use ndpb_core::config::SystemConfig;
+use ndpb_core::design::DesignPoint;
+use ndpb_core::hostonly::{HostOnly, HostOnlyConfig};
+use ndpb_core::result::{geomean, RunResult};
+use ndpb_core::System;
+use ndpb_workloads::{build_app, Scale};
+
+/// Runs one (application, design) pair under `cfg`.
+pub fn run_one(app_name: &str, design: DesignPoint, cfg: SystemConfig, scale: Scale) -> RunResult {
+    let app = build_app(app_name, &cfg.geometry, scale, cfg.seed);
+    System::new(cfg, design, app).run()
+}
+
+/// Runs the host-only baseline **H** for one application.
+pub fn run_host(app_name: &str, cfg: SystemConfig, scale: Scale) -> RunResult {
+    let app = build_app(app_name, &cfg.geometry, scale, cfg.seed);
+    HostOnly::new(cfg, HostOnlyConfig::paper(), app).run()
+}
+
+/// A labelled design column: either an NDP design point or the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Column {
+    /// A simulated NDP design.
+    Ndp(DesignPoint),
+    /// The host-only baseline.
+    Host,
+}
+
+impl Column {
+    /// Display label.
+    pub fn label(self) -> String {
+        match self {
+            Column::Ndp(d) => d.to_string(),
+            Column::Host => "H".to_string(),
+        }
+    }
+}
+
+/// Runs `columns × apps` in parallel threads (each simulation is
+/// single-threaded and deterministic) and returns results in
+/// `[app][column]` order.
+pub fn run_matrix(
+    apps: &[&str],
+    columns: &[Column],
+    make_cfg: impl Fn() -> SystemConfig + Sync,
+    scale: Scale,
+) -> Vec<Vec<RunResult>> {
+    thread::scope(|s| {
+        let handles: Vec<Vec<_>> = apps
+            .iter()
+            .map(|&app| {
+                columns
+                    .iter()
+                    .map(|&col| {
+                        let cfg = make_cfg();
+                        s.spawn(move || match col {
+                            Column::Ndp(d) => run_one(app, d, cfg, scale),
+                            Column::Host => run_host(app, cfg, scale),
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|row| row.into_iter().map(|h| h.join().expect("run panicked")).collect())
+            .collect()
+    })
+}
+
+/// Geometric-mean speedup of column `target` over column `baseline`
+/// across all rows of a [`run_matrix`] result.
+pub fn matrix_geomean_speedup(matrix: &[Vec<RunResult>], target: usize, baseline: usize) -> f64 {
+    let ratios: Vec<f64> = matrix
+        .iter()
+        .map(|row| row[target].speedup_over(&row[baseline]))
+        .collect();
+    geomean(&ratios)
+}
+
+/// Formats a speedup table (rows = apps, columns relative to the first
+/// column's makespan).
+pub fn format_speedup_table(apps: &[&str], columns: &[Column], matrix: &[Vec<RunResult>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<8}", "app"));
+    for c in columns {
+        out.push_str(&format!("{:>10}", c.label()));
+    }
+    out.push('\n');
+    for (i, &app) in apps.iter().enumerate() {
+        out.push_str(&format!("{app:<8}"));
+        for j in 0..columns.len() {
+            let s = matrix[i][j].speedup_over(&matrix[i][0]);
+            out.push_str(&format!("{s:>9.2}x"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<8}", "geomean"));
+    for j in 0..columns.len() {
+        out.push_str(&format!("{:>9.2}x", matrix_geomean_speedup(matrix, j, 0)));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndpb_dram::Geometry;
+
+    fn tiny_cfg() -> SystemConfig {
+        SystemConfig::with_geometry(Geometry::with_total_ranks(1))
+    }
+
+    #[test]
+    fn run_one_produces_work() {
+        let r = run_one("ll", DesignPoint::B, tiny_cfg(), Scale::Tiny);
+        assert!(r.tasks_executed > 0);
+        assert_eq!(r.design, "B");
+        assert_eq!(r.app, "ll");
+    }
+
+    #[test]
+    fn run_host_produces_work() {
+        let r = run_host("spmv", tiny_cfg(), Scale::Tiny);
+        assert!(r.tasks_executed > 0);
+        assert_eq!(r.design, "H");
+    }
+
+    #[test]
+    fn matrix_shape_and_tables() {
+        let apps = ["ll", "spmv"];
+        let cols = [Column::Ndp(DesignPoint::C), Column::Ndp(DesignPoint::B)];
+        let m = run_matrix(&apps, &cols, tiny_cfg, Scale::Tiny);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].len(), 2);
+        let table = format_speedup_table(&apps, &cols, &m);
+        assert!(table.contains("geomean"));
+        assert!(table.contains("ll"));
+        let g = matrix_geomean_speedup(&m, 1, 0);
+        assert!(g > 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Design points (Table II and Section VII's extra baselines).
+
+use std::fmt;
+
+/// How cross-unit messages travel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommPath {
+    /// Baseline **C**: every message is gathered by the host CPU over
+    /// the DDR channel and scattered back — the execution model of
+    /// existing DRAM-bank NDP products.
+    HostForward,
+    /// NDPBridge: level-1 bridges handle intra-rank messages; the
+    /// level-2 bridge (host runtime) forwards only cross-rank messages.
+    Bridges,
+    /// Baseline **R**: RowClone-style direct bank-to-bank copies within
+    /// a DRAM chip; everything else falls back to host forwarding.
+    RowClone,
+}
+
+/// Load-balancing policy knobs (Section VI; ablated in Figure 14a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LbPolicy {
+    /// Whether dynamic load balancing runs at all.
+    pub enabled: bool,
+    /// `+Adv`: schedule *in advance* of queue exhaustion, using the
+    /// `W_th` threshold, to hide transfer latency.
+    pub in_advance: bool,
+    /// `+Fine`: fine-grained stealing — move only ~`2·W_th` of workload
+    /// per round instead of half the victim queue.
+    pub fine_grained: bool,
+    /// `+Hot`: select hot blocks (sketch + reserved queue) to reduce
+    /// transfer traffic.
+    pub hot_data: bool,
+    /// Workload correction with the `toArrive` counter (applied to both
+    /// W and O per Section VII).
+    pub workload_correction: bool,
+}
+
+impl LbPolicy {
+    /// No load balancing (designs C, B, R).
+    pub const NONE: LbPolicy = LbPolicy {
+        enabled: false,
+        in_advance: false,
+        fine_grained: false,
+        hot_data: false,
+        workload_correction: false,
+    };
+
+    /// Traditional work stealing with workload correction (design W).
+    pub const WORK_STEALING: LbPolicy = LbPolicy {
+        enabled: true,
+        in_advance: false,
+        fine_grained: false,
+        hot_data: false,
+        workload_correction: true,
+    };
+
+    /// Full data-transfer-aware policy (design O).
+    pub const DATA_AWARE: LbPolicy = LbPolicy {
+        enabled: true,
+        in_advance: true,
+        fine_grained: true,
+        hot_data: true,
+        workload_correction: true,
+    };
+}
+
+/// A named design point from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignPoint {
+    /// Host-CPU forwarding, no load balancing.
+    C,
+    /// Hardware bridges, no load balancing.
+    B,
+    /// Bridges + traditional work stealing.
+    W,
+    /// Bridges + data-transfer-aware load balancing (NDPBridge).
+    O,
+    /// RowClone intra-chip transfers, host forwarding across chips.
+    R,
+    /// W plus in-advance scheduling only (Figure 14a `+Adv`).
+    WAdv,
+    /// W plus fine-grained stealing only (Figure 14a `+Fine`).
+    WFine,
+    /// W plus hot-data selection only (Figure 14a `+Hot`).
+    WHot,
+}
+
+impl DesignPoint {
+    /// The communication path of this design.
+    pub fn comm_path(self) -> CommPath {
+        match self {
+            DesignPoint::C => CommPath::HostForward,
+            DesignPoint::R => CommPath::RowClone,
+            _ => CommPath::Bridges,
+        }
+    }
+
+    /// The load-balancing policy of this design.
+    pub fn lb_policy(self) -> LbPolicy {
+        match self {
+            DesignPoint::C | DesignPoint::B | DesignPoint::R => LbPolicy::NONE,
+            DesignPoint::W => LbPolicy::WORK_STEALING,
+            DesignPoint::O => LbPolicy::DATA_AWARE,
+            DesignPoint::WAdv => LbPolicy {
+                in_advance: true,
+                ..LbPolicy::WORK_STEALING
+            },
+            DesignPoint::WFine => LbPolicy {
+                fine_grained: true,
+                ..LbPolicy::WORK_STEALING
+            },
+            DesignPoint::WHot => LbPolicy {
+                hot_data: true,
+                ..LbPolicy::WORK_STEALING
+            },
+        }
+    }
+
+    /// All four Table II rows, in the paper's order.
+    pub fn table2() -> [DesignPoint; 4] {
+        [DesignPoint::C, DesignPoint::B, DesignPoint::W, DesignPoint::O]
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DesignPoint::C => "C",
+            DesignPoint::B => "B",
+            DesignPoint::W => "W",
+            DesignPoint::O => "O",
+            DesignPoint::R => "R",
+            DesignPoint::WAdv => "W+Adv",
+            DesignPoint::WFine => "W+Fine",
+            DesignPoint::WHot => "W+Hot",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let t = DesignPoint::table2();
+        assert_eq!(t[0].comm_path(), CommPath::HostForward);
+        assert!(!t[0].lb_policy().enabled);
+        assert_eq!(t[1].comm_path(), CommPath::Bridges);
+        assert!(!t[1].lb_policy().enabled);
+        assert!(t[2].lb_policy().enabled);
+        assert!(!t[2].lb_policy().hot_data);
+        assert!(t[3].lb_policy().hot_data);
+    }
+
+    #[test]
+    fn w_has_workload_correction() {
+        // Section VII: "We also apply workload correction to W".
+        assert!(DesignPoint::W.lb_policy().workload_correction);
+    }
+
+    #[test]
+    fn ablations_add_one_knob_each() {
+        assert!(DesignPoint::WAdv.lb_policy().in_advance);
+        assert!(!DesignPoint::WAdv.lb_policy().fine_grained);
+        assert!(DesignPoint::WFine.lb_policy().fine_grained);
+        assert!(!DesignPoint::WFine.lb_policy().hot_data);
+        assert!(DesignPoint::WHot.lb_policy().hot_data);
+        assert!(!DesignPoint::WHot.lb_policy().in_advance);
+    }
+
+    #[test]
+    fn rowclone_is_its_own_path() {
+        assert_eq!(DesignPoint::R.comm_path(), CommPath::RowClone);
+        assert!(!DesignPoint::R.lb_policy().enabled);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DesignPoint::O.to_string(), "O");
+        assert_eq!(DesignPoint::WHot.to_string(), "W+Hot");
+    }
+}

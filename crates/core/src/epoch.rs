@@ -1,0 +1,174 @@
+//! Bulk-synchronous epoch tracking.
+//!
+//! Tasks carry a [`Timestamp`](ndpb_tasks::Timestamp); tasks of epoch
+//! `t+1` may only run after every epoch-`t` task in the *whole system*
+//! has completed (Section IV). The tracker counts outstanding tasks per
+//! epoch — a task is outstanding from the moment it is spawned (even
+//! while in a mailbox or on a bus) until its execution finishes — and
+//! reports when the barrier opens.
+
+use std::collections::BTreeMap;
+
+use ndpb_tasks::Timestamp;
+
+/// Counts outstanding tasks per epoch and drives the global barrier.
+#[derive(Debug, Clone, Default)]
+pub struct EpochTracker {
+    current: u32,
+    outstanding: BTreeMap<u32, u64>,
+}
+
+impl EpochTracker {
+    /// A tracker positioned at epoch 0 with nothing outstanding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The epoch currently allowed to execute.
+    pub fn current(&self) -> Timestamp {
+        Timestamp(self.current)
+    }
+
+    /// Whether a task with timestamp `ts` may execute now.
+    pub fn is_ready(&self, ts: Timestamp) -> bool {
+        ts.0 <= self.current
+    }
+
+    /// Registers a newly spawned task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task belongs to an epoch that has already fully
+    /// completed (time travel).
+    pub fn spawned(&mut self, ts: Timestamp) {
+        assert!(
+            ts.0 >= self.current,
+            "spawned task for closed epoch {} (current {})",
+            ts.0,
+            self.current
+        );
+        *self.outstanding.entry(ts.0).or_insert(0) += 1;
+        // If nothing exists at the current epoch (e.g. an application
+        // seeds only later epochs), fast-forward to the earliest pending
+        // epoch so the barrier can open.
+        if !self.outstanding.contains_key(&self.current) {
+            self.current = *self.outstanding.keys().next().expect("just inserted");
+        }
+    }
+
+    /// Registers a task completion. Returns `Some(new_epoch)` when this
+    /// completion closes the current epoch and a later epoch (with
+    /// pending tasks) opens; returns `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbalanced completion.
+    pub fn completed(&mut self, ts: Timestamp) -> Option<Timestamp> {
+        let n = self
+            .outstanding
+            .get_mut(&ts.0)
+            .unwrap_or_else(|| panic!("completion for unknown epoch {}", ts.0));
+        assert!(*n > 0, "unbalanced completion for epoch {}", ts.0);
+        *n -= 1;
+        if *n == 0 {
+            self.outstanding.remove(&ts.0);
+        }
+        if ts.0 == self.current && !self.outstanding.contains_key(&self.current) {
+            // Current epoch drained: jump to the next epoch that has
+            // outstanding tasks, if any.
+            if let Some((&next, _)) = self.outstanding.iter().next() {
+                self.current = next;
+                return Some(Timestamp(next));
+            }
+        }
+        None
+    }
+
+    /// Total outstanding tasks across all epochs.
+    pub fn total_outstanding(&self) -> u64 {
+        self.outstanding.values().sum()
+    }
+
+    /// Whether every task in every epoch has completed.
+    pub fn all_done(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let t = EpochTracker::new();
+        assert_eq!(t.current(), Timestamp(0));
+        assert!(t.all_done());
+        assert!(t.is_ready(Timestamp(0)));
+        assert!(!t.is_ready(Timestamp(1)));
+    }
+
+    #[test]
+    fn barrier_opens_when_epoch_drains() {
+        let mut t = EpochTracker::new();
+        t.spawned(Timestamp(0));
+        t.spawned(Timestamp(0));
+        t.spawned(Timestamp(1));
+        assert_eq!(t.completed(Timestamp(0)), None);
+        assert!(!t.is_ready(Timestamp(1)));
+        let opened = t.completed(Timestamp(0));
+        assert_eq!(opened, Some(Timestamp(1)));
+        assert!(t.is_ready(Timestamp(1)));
+        assert_eq!(t.total_outstanding(), 1);
+    }
+
+    #[test]
+    fn skips_empty_epochs() {
+        let mut t = EpochTracker::new();
+        t.spawned(Timestamp(0));
+        t.spawned(Timestamp(5));
+        assert_eq!(t.completed(Timestamp(0)), Some(Timestamp(5)));
+        assert_eq!(t.current(), Timestamp(5));
+    }
+
+    #[test]
+    fn completes_everything() {
+        let mut t = EpochTracker::new();
+        t.spawned(Timestamp(0));
+        t.spawned(Timestamp(1));
+        t.completed(Timestamp(0));
+        assert!(!t.all_done());
+        t.completed(Timestamp(1));
+        assert!(t.all_done());
+    }
+
+    #[test]
+    fn future_spawns_do_not_open_barrier_early() {
+        let mut t = EpochTracker::new();
+        t.spawned(Timestamp(0));
+        t.spawned(Timestamp(2));
+        t.spawned(Timestamp(2));
+        assert_eq!(t.completed(Timestamp(0)), Some(Timestamp(2)));
+        // Still in epoch 2 until both drain.
+        assert_eq!(t.completed(Timestamp(2)), None);
+        assert_eq!(t.completed(Timestamp(2)), None);
+        assert!(t.all_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "closed epoch")]
+    fn spawning_into_past_panics() {
+        let mut t = EpochTracker::new();
+        t.spawned(Timestamp(0));
+        t.spawned(Timestamp(1));
+        t.completed(Timestamp(0)); // moves to epoch 1
+        t.spawned(Timestamp(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown epoch")]
+    fn unbalanced_completion_panics() {
+        let mut t = EpochTracker::new();
+        t.completed(Timestamp(0));
+    }
+}

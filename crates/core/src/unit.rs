@@ -1,0 +1,570 @@
+//! The NDP unit: one DRAM bank plus its wimpy core, unit controller
+//! state, task queues and load-balancing structures (Figure 4(b)).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use ndpb_dram::{AddressMap, BankModel, BlockAddr, UnitId};
+use ndpb_proto::{Mailbox, Message};
+use ndpb_sim::stats::{BusyTime, Counter};
+use ndpb_sim::{SimRng, SimTime};
+use ndpb_sketch::{HotSketch, ReservedQueue};
+use ndpb_tasks::{Task, Timestamp};
+
+use crate::config::SystemConfig;
+use crate::metadata::LentBitmap;
+
+/// A block chosen by a giver for lending, with the tasks that leave
+/// alongside it (step ② of Figure 6).
+#[derive(Debug, Clone)]
+pub struct ScheduledBlock {
+    /// The lent block (original address).
+    pub block: BlockAddr,
+    /// Tasks migrating with the block.
+    pub tasks: Vec<Task>,
+    /// Their cumulative workload.
+    pub workload: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Borrow {
+    last_use: u64,
+    pins: u64,
+}
+
+/// Per-unit statistics.
+#[derive(Debug, Clone, Default)]
+pub struct UnitStats {
+    /// Tasks executed on this unit.
+    pub tasks_executed: Counter,
+    /// Tasks popped locally but re-routed because the block had moved.
+    pub tasks_rerouted: Counter,
+    /// Core busy time (task execution including its DRAM waits).
+    pub busy: BusyTime,
+    /// Bytes of task-data DRAM traffic (local accesses).
+    pub dram_local_bytes: Counter,
+    /// Messages pushed into the mailbox.
+    pub msgs_emitted: Counter,
+    /// Messages delivered to this unit.
+    pub msgs_received: Counter,
+    /// Core stalls due to a full mailbox.
+    pub mailbox_stalls: Counter,
+    /// Borrowed blocks admitted beyond nominal capacity because every
+    /// candidate was pinned by queued tasks.
+    pub borrow_overflows: Counter,
+    /// When the unit last finished executing a task.
+    pub last_finish: SimTime,
+}
+
+/// One NDP unit.
+#[derive(Debug)]
+pub struct NdpUnit {
+    /// Unit identity.
+    pub id: UnitId,
+    /// The unit's DRAM bank (also the access-arbitration point).
+    pub bank: BankModel,
+    /// Outgoing-message ring buffer in local DRAM.
+    pub mailbox: Mailbox,
+    /// Messages the core produced while the mailbox was full; the core
+    /// stalls until these drain (Section V-A).
+    pub pending_out: VecDeque<Message>,
+    /// Lent-block bitmap (home blocks currently elsewhere).
+    pub is_lent: LentBitmap,
+    /// Statistics.
+    pub stats: UnitStats,
+    /// When the core next becomes free.
+    pub core_free_at: SimTime,
+    /// Whether a core wake event is already scheduled.
+    pub wake_scheduled: bool,
+
+    task_queue: VecDeque<Task>,
+    future: BTreeMap<u32, Vec<Task>>,
+    pending_workload: u64,
+    sketch: HotSketch,
+    reserved: ReservedQueue<Task>,
+    borrowed: HashMap<BlockAddr, Borrow>,
+    borrow_clock: u64,
+    borrow_capacity: usize,
+    finished_workload: u64,
+    rng: SimRng,
+}
+
+impl NdpUnit {
+    /// Creates a unit per the system configuration.
+    pub fn new(id: UnitId, cfg: &SystemConfig, rng: SimRng) -> Self {
+        NdpUnit {
+            id,
+            bank: BankModel::new(),
+            mailbox: Mailbox::new(cfg.mailbox_bytes),
+            pending_out: VecDeque::new(),
+            is_lent: LentBitmap::new(),
+            stats: UnitStats::default(),
+            core_free_at: SimTime::ZERO,
+            wake_scheduled: false,
+            task_queue: VecDeque::new(),
+            future: BTreeMap::new(),
+            pending_workload: 0,
+            sketch: HotSketch::new(cfg.sketch.clone()),
+            reserved: ReservedQueue::new(cfg.reserved_chunks, cfg.reserved_tasks_per_chunk),
+            borrowed: HashMap::new(),
+            borrow_clock: 0,
+            borrow_capacity: cfg.borrowed_capacity_blocks(),
+            finished_workload: 0,
+            rng,
+        }
+    }
+
+    // ---- task queue -----------------------------------------------------
+
+    /// Whether this unit currently holds the data block (home-and-not-
+    /// lent, or borrowed).
+    pub fn holds_block(&self, block: BlockAddr, map: &AddressMap) -> bool {
+        if map.block_home(block) == self.id {
+            !self.is_lent.is_lent(block)
+        } else {
+            self.borrowed.contains_key(&block)
+        }
+    }
+
+    /// Enqueues a task that is ready to execute (its epoch is open).
+    /// With `hot_tracking` the task may be parked in the reserved queue
+    /// behind the sketch.
+    pub fn enqueue_ready(&mut self, task: Task, hot_tracking: bool, map: &AddressMap) {
+        let wl = task.workload_or_default();
+        let block = map.block_of(task.data);
+        if let Some(b) = self.borrowed.get_mut(&block) {
+            b.pins += 1;
+        }
+        self.pending_workload += wl;
+        if hot_tracking && self.holds_block(block, map) {
+            self.sketch.record(block.0, wl, &mut self.rng);
+            if self.sketch.get(block.0).is_some() {
+                match self.reserved.reserve(block.0, task) {
+                    Ok(()) => return,
+                    Err(task) => {
+                        self.task_queue.push_back(task);
+                        return;
+                    }
+                }
+            }
+        }
+        self.task_queue.push_back(task);
+    }
+
+    /// Parks a task whose epoch has not opened yet.
+    pub fn enqueue_future(&mut self, task: Task) {
+        self.future.entry(task.ts.0).or_default().push(task);
+    }
+
+    /// Releases parked tasks of `epoch` into the ready queue; returns
+    /// how many were released.
+    pub fn release_epoch(&mut self, epoch: Timestamp, hot_tracking: bool, map: &AddressMap) -> usize {
+        let Some(tasks) = self.future.remove(&epoch.0) else {
+            return 0;
+        };
+        let n = tasks.len();
+        for t in tasks {
+            self.enqueue_ready(t, hot_tracking, map);
+        }
+        n
+    }
+
+    /// Pops the next ready task, refilling the ready queue from the
+    /// reserved queue when needed. Releases the task's borrow pin.
+    pub fn pop_task(&mut self, map: &AddressMap) -> Option<Task> {
+        loop {
+            if let Some(t) = self.task_queue.pop_front() {
+                let wl = t.workload_or_default();
+                self.pending_workload -= wl;
+                let block = map.block_of(t.data);
+                if let Some(b) = self.borrowed.get_mut(&block) {
+                    b.pins = b.pins.saturating_sub(1);
+                }
+                return Some(t);
+            }
+            if self.reserved.is_empty() {
+                return None;
+            }
+            // Refill: pull the hottest reserved list back into the ready
+            // queue (they are local work when no scheduling claims them).
+            if let Some((key, _)) = self.sketch.pop_hottest() {
+                let list = self.reserved.take(key);
+                self.task_queue.extend(list);
+            } else {
+                let all = self.reserved.drain_all();
+                self.task_queue.extend(all);
+            }
+        }
+    }
+
+    /// Workload waiting to execute (`W_queue`): ready queue plus
+    /// reserved tasks.
+    pub fn queue_workload(&self) -> u64 {
+        self.pending_workload
+    }
+
+    /// Number of ready + reserved tasks.
+    pub fn queued_tasks(&self) -> usize {
+        self.task_queue.len() + self.reserved.total_tasks()
+    }
+
+    /// Number of parked future-epoch tasks.
+    pub fn future_tasks(&self) -> usize {
+        self.future.values().map(Vec::len).sum()
+    }
+
+    /// Records `wl` workload as finished (for `W_finish`).
+    pub fn add_finished(&mut self, wl: u64) {
+        self.finished_workload += wl;
+    }
+
+    /// Reads and resets `W_finish` (the state gather consumes it).
+    pub fn take_finished(&mut self) -> u64 {
+        std::mem::take(&mut self.finished_workload)
+    }
+
+    // ---- borrowed data region -------------------------------------------
+
+    /// Whether `block` is currently borrowed here.
+    pub fn is_borrowed(&self, block: BlockAddr) -> bool {
+        self.borrowed.contains_key(&block)
+    }
+
+    /// Admits a borrowed block into the borrowed data region + table.
+    /// Returns a block to evict (return home) if capacity was exceeded
+    /// and an unpinned victim existed.
+    pub fn admit_borrow(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        self.borrow_clock += 1;
+        self.borrowed.insert(
+            block,
+            Borrow {
+                last_use: self.borrow_clock,
+                pins: 0,
+            },
+        );
+        if self.borrowed.len() <= self.borrow_capacity {
+            return None;
+        }
+        let victim = self
+            .borrowed
+            .iter()
+            .filter(|(k, b)| **k != block && b.pins == 0)
+            .min_by_key(|(_, b)| b.last_use)
+            .map(|(k, _)| *k);
+        match victim {
+            Some(v) => {
+                self.borrowed.remove(&v);
+                Some(v)
+            }
+            None => {
+                self.stats.borrow_overflows.inc();
+                None
+            }
+        }
+    }
+
+    /// Removes a borrowed block (it is being returned home).
+    pub fn remove_borrow(&mut self, block: BlockAddr) -> bool {
+        self.borrowed.remove(&block).is_some()
+    }
+
+    /// Number of blocks currently borrowed.
+    pub fn borrowed_count(&self) -> usize {
+        self.borrowed.len()
+    }
+
+    /// Marks a borrowed block as recently used.
+    pub fn touch_borrow(&mut self, block: BlockAddr) {
+        self.borrow_clock += 1;
+        if let Some(b) = self.borrowed.get_mut(&block) {
+            b.last_use = self.borrow_clock;
+        }
+    }
+
+    // ---- giver-side selection (step ② of Figure 6) -----------------------
+
+    /// Chooses blocks + tasks worth `budget` workload to lend out.
+    /// With `hot_first`, hot sketch entries are preferred; the task
+    /// queue tail is the fallback (and the only source otherwise).
+    /// Chosen home blocks are marked lent immediately.
+    pub fn choose_scheduled_out(
+        &mut self,
+        budget: u64,
+        hot_first: bool,
+        map: &AddressMap,
+    ) -> Vec<ScheduledBlock> {
+        let mut out = Vec::new();
+        let mut remaining = budget;
+        if hot_first {
+            while remaining > 0 {
+                let Some((key, _)) = self.sketch.pop_hottest() else {
+                    break;
+                };
+                let block = BlockAddr(key);
+                let tasks = self.reserved.take(key);
+                if tasks.is_empty() {
+                    continue;
+                }
+                if !self.lendable(block, map) {
+                    // Keep the tasks local.
+                    self.task_queue.extend(tasks);
+                    continue;
+                }
+                let wl: u64 = tasks.iter().map(Task::workload_or_default).sum();
+                self.is_lent.set(block);
+                self.pending_workload -= wl;
+                remaining = remaining.saturating_sub(wl);
+                out.push(ScheduledBlock {
+                    block,
+                    tasks,
+                    workload: wl,
+                });
+            }
+        }
+        if remaining > 0 {
+            out.extend(self.choose_from_tail(remaining, map));
+        }
+        out
+    }
+
+    fn lendable(&self, block: BlockAddr, map: &AddressMap) -> bool {
+        map.block_home(block) == self.id && !self.is_lent.is_lent(block)
+    }
+
+    /// Tail-of-queue selection (traditional work stealing): walk the
+    /// ready queue from the back, grouping tasks by block, until
+    /// `budget` workload is gathered.
+    fn choose_from_tail(&mut self, budget: u64, map: &AddressMap) -> Vec<ScheduledBlock> {
+        let mut groups: Vec<(BlockAddr, Vec<Task>, u64)> = Vec::new();
+        let mut collected = 0u64;
+        let mut keep: VecDeque<Task> = VecDeque::with_capacity(self.task_queue.len());
+        while let Some(task) = self.task_queue.pop_back() {
+            if collected >= budget {
+                keep.push_front(task);
+                continue;
+            }
+            let block = map.block_of(task.data);
+            if !self.lendable(block, map) && !groups.iter().any(|(b, _, _)| *b == block) {
+                keep.push_front(task);
+                continue;
+            }
+            let wl = task.workload_or_default();
+            collected += wl;
+            match groups.iter_mut().find(|(b, _, _)| *b == block) {
+                Some((_, tasks, gwl)) => {
+                    tasks.push(task);
+                    *gwl += wl;
+                }
+                None => groups.push((block, vec![task], wl)),
+            }
+        }
+        self.task_queue = keep;
+        let mut out = Vec::new();
+        for (block, mut tasks, wl) in groups {
+            tasks.reverse(); // restore original queue order
+            if self.lendable(block, map) {
+                self.is_lent.set(block);
+            }
+            self.pending_workload -= wl;
+            out.push(ScheduledBlock {
+                block,
+                tasks,
+                workload: wl,
+            });
+        }
+        out
+    }
+
+    /// The unit's deterministic RNG (for system-level decisions tied to
+    /// this unit).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndpb_tasks::{TaskArgs, TaskFnId};
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::table1()
+    }
+
+    fn map(c: &SystemConfig) -> AddressMap {
+        AddressMap::new(&c.geometry, c.g_xfer, c.timing.row_bytes)
+    }
+
+    fn unit(c: &SystemConfig, id: u32) -> NdpUnit {
+        NdpUnit::new(UnitId(id), c, SimRng::new(id as u64))
+    }
+
+    fn task_at(m: &AddressMap, u: u32, offset: u64, wl: u32) -> Task {
+        Task::new(
+            TaskFnId(0),
+            Timestamp(0),
+            m.addr_in_unit(UnitId(u), offset),
+            wl,
+            TaskArgs::EMPTY,
+        )
+    }
+
+    #[test]
+    fn enqueue_pop_fifo_without_hot() {
+        let c = cfg();
+        let m = map(&c);
+        let mut u = unit(&c, 0);
+        u.enqueue_ready(task_at(&m, 0, 0, 5), false, &m);
+        u.enqueue_ready(task_at(&m, 0, 256, 7), false, &m);
+        assert_eq!(u.queue_workload(), 12);
+        assert_eq!(u.queued_tasks(), 2);
+        let t = u.pop_task(&m).unwrap();
+        assert_eq!(t.est_workload, 5);
+        assert_eq!(u.queue_workload(), 7);
+        u.pop_task(&m).unwrap();
+        assert!(u.pop_task(&m).is_none());
+        assert_eq!(u.queue_workload(), 0);
+    }
+
+    #[test]
+    fn hot_tracking_parks_in_reserved_and_refills() {
+        let c = cfg();
+        let m = map(&c);
+        let mut u = unit(&c, 0);
+        for _ in 0..10 {
+            u.enqueue_ready(task_at(&m, 0, 0, 3), true, &m);
+        }
+        assert_eq!(u.queued_tasks(), 10);
+        assert_eq!(u.queue_workload(), 30);
+        // Popping drains through the reserved refill path.
+        let mut n = 0;
+        while u.pop_task(&m).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10);
+        assert_eq!(u.queue_workload(), 0);
+    }
+
+    #[test]
+    fn future_tasks_release_at_barrier() {
+        let c = cfg();
+        let m = map(&c);
+        let mut u = unit(&c, 0);
+        let mut t = task_at(&m, 0, 0, 2);
+        t.ts = Timestamp(1);
+        u.enqueue_future(t);
+        assert_eq!(u.future_tasks(), 1);
+        assert_eq!(u.queued_tasks(), 0);
+        assert_eq!(u.release_epoch(Timestamp(1), false, &m), 1);
+        assert_eq!(u.queued_tasks(), 1);
+        assert_eq!(u.release_epoch(Timestamp(2), false, &m), 0);
+    }
+
+    #[test]
+    fn holds_block_home_and_lent() {
+        let c = cfg();
+        let m = map(&c);
+        let mut u = unit(&c, 0);
+        let b = m.block_of(m.addr_in_unit(UnitId(0), 0));
+        assert!(u.holds_block(b, &m));
+        u.is_lent.set(b);
+        assert!(!u.holds_block(b, &m));
+        // Another unit's block is not held unless borrowed.
+        let fb = m.block_of(m.addr_in_unit(UnitId(1), 0));
+        assert!(!u.holds_block(fb, &m));
+        u.admit_borrow(fb);
+        assert!(u.holds_block(fb, &m));
+    }
+
+    #[test]
+    fn borrow_eviction_lru_unpinned() {
+        let c = cfg();
+        let mut u = unit(&c, 0);
+        u.borrow_capacity = 2;
+        assert_eq!(u.admit_borrow(BlockAddr(1)), None);
+        assert_eq!(u.admit_borrow(BlockAddr(2)), None);
+        u.touch_borrow(BlockAddr(1));
+        let e = u.admit_borrow(BlockAddr(3));
+        assert_eq!(e, Some(BlockAddr(2)));
+        assert_eq!(u.borrowed_count(), 2);
+    }
+
+    #[test]
+    fn pinned_blocks_survive_eviction() {
+        let c = cfg();
+        let m = map(&c);
+        let mut u = unit(&c, 1);
+        u.borrow_capacity = 1;
+        // Borrow unit 0's block and pin it with a queued task.
+        let home0 = m.block_of(m.addr_in_unit(UnitId(0), 0));
+        u.admit_borrow(home0);
+        u.enqueue_ready(task_at(&m, 0, 0, 1), false, &m); // pins home0
+        let e = u.admit_borrow(BlockAddr(99_999));
+        assert_eq!(e, None, "pinned LRU must not be evicted");
+        assert_eq!(u.stats.borrow_overflows.get(), 1);
+        // Popping the task unpins; next admit can evict it.
+        u.pop_task(&m).unwrap();
+        let e = u.admit_borrow(BlockAddr(99_998));
+        assert_eq!(e, Some(home0));
+    }
+
+    #[test]
+    fn choose_from_tail_groups_by_block() {
+        let c = cfg();
+        let m = map(&c);
+        let mut u = unit(&c, 0);
+        // Two tasks on block A (offset 0), one on block B (offset 256).
+        u.enqueue_ready(task_at(&m, 0, 0, 4), false, &m);
+        u.enqueue_ready(task_at(&m, 0, 256, 4), false, &m);
+        u.enqueue_ready(task_at(&m, 0, 16, 4), false, &m);
+        let out = u.choose_scheduled_out(8, false, &m);
+        let total: u64 = out.iter().map(|s| s.workload).sum();
+        assert!(total >= 8);
+        // All chosen blocks are marked lent.
+        for s in &out {
+            assert!(u.is_lent.is_lent(s.block));
+        }
+        assert_eq!(u.queue_workload() + total, 12);
+    }
+
+    #[test]
+    fn choose_hot_prefers_sketch_blocks() {
+        let c = cfg();
+        let m = map(&c);
+        let mut u = unit(&c, 0);
+        // Hot block: 20 tasks at offset 0; cold: 1 task at 512.
+        for _ in 0..20 {
+            u.enqueue_ready(task_at(&m, 0, 0, 2), true, &m);
+        }
+        u.enqueue_ready(task_at(&m, 0, 512, 2), true, &m);
+        let out = u.choose_scheduled_out(10, true, &m);
+        assert!(!out.is_empty());
+        let hot = m.block_of(m.addr_in_unit(UnitId(0), 0));
+        assert_eq!(out[0].block, hot);
+        assert!(out[0].tasks.len() >= 5, "hot block brings its tasks");
+    }
+
+    #[test]
+    fn lent_blocks_not_rechosen() {
+        let c = cfg();
+        let m = map(&c);
+        let mut u = unit(&c, 0);
+        u.enqueue_ready(task_at(&m, 0, 0, 4), false, &m);
+        let first = u.choose_scheduled_out(4, false, &m);
+        assert_eq!(first.len(), 1);
+        // Re-enqueue a task on the now-lent block; it must not be chosen.
+        u.enqueue_ready(task_at(&m, 0, 8, 4), false, &m);
+        let second = u.choose_scheduled_out(4, false, &m);
+        assert!(second.is_empty());
+        assert_eq!(u.queued_tasks(), 1);
+    }
+
+    #[test]
+    fn finished_workload_take_resets() {
+        let c = cfg();
+        let mut u = unit(&c, 0);
+        u.add_finished(10);
+        u.add_finished(5);
+        assert_eq!(u.take_finished(), 15);
+        assert_eq!(u.take_finished(), 0);
+    }
+}

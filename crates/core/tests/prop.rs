@@ -1,0 +1,106 @@
+//! Property-based tests for the core metadata structures and epoch
+//! tracker, checked against reference models.
+
+use ndpb_core::epoch::EpochTracker;
+use ndpb_core::metadata::{LentBitmap, LruTable};
+use ndpb_dram::BlockAddr;
+use ndpb_tasks::Timestamp;
+use proptest::prelude::*;
+
+proptest! {
+    /// The LRU table agrees with a brute-force reference model on
+    /// membership, size and eviction choice.
+    #[test]
+    fn lru_matches_reference(
+        ops in prop::collection::vec((0u64..32, 0u8..3), 1..300),
+        cap in 1usize..16,
+    ) {
+        let mut t: LruTable<u64, u64> = LruTable::new(cap);
+        // Reference: Vec of (key, value) ordered by recency (front = LRU).
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        for (key, op) in ops {
+            match op {
+                0 => {
+                    // insert key -> key*10
+                    let evicted = t.insert(key, key * 10);
+                    if let Some(pos) = model.iter().position(|(k, _)| *k == key) {
+                        model.remove(pos);
+                        model.push((key, key * 10));
+                        prop_assert!(evicted.is_none());
+                    } else {
+                        model.push((key, key * 10));
+                        if model.len() > cap {
+                            let lru = model.remove(0);
+                            prop_assert_eq!(evicted, Some(lru));
+                        } else {
+                            prop_assert!(evicted.is_none());
+                        }
+                    }
+                }
+                1 => {
+                    let got = t.get(&key).copied();
+                    let want = model.iter().position(|(k, _)| *k == key).map(|pos| {
+                        let e = model.remove(pos);
+                        let v = e.1;
+                        model.push(e);
+                        v
+                    });
+                    prop_assert_eq!(got, want);
+                }
+                _ => {
+                    let got = t.remove(&key);
+                    let want = model
+                        .iter()
+                        .position(|(k, _)| *k == key)
+                        .map(|pos| model.remove(pos).1);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(t.len(), model.len());
+        }
+    }
+
+    /// Lent bitmap behaves as a set.
+    #[test]
+    fn lent_bitmap_is_a_set(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+        let mut b = LentBitmap::new();
+        let mut model = std::collections::HashSet::new();
+        for (block, set) in ops {
+            let block = BlockAddr(block);
+            if set {
+                prop_assert_eq!(b.set(block), model.insert(block));
+            } else {
+                prop_assert_eq!(b.clear(block), model.remove(&block));
+            }
+            prop_assert_eq!(b.count(), model.len());
+            prop_assert_eq!(b.is_lent(block), model.contains(&block));
+        }
+    }
+
+    /// Epoch tracker: spawning tasks across epochs and completing them
+    /// in epoch order always terminates with `all_done`, and the current
+    /// epoch only ever increases.
+    #[test]
+    fn epochs_always_drain(counts in prop::collection::vec(0u64..10, 1..10)) {
+        let mut t = EpochTracker::new();
+        let mut total = 0u64;
+        for (e, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                t.spawned(Timestamp(e as u32));
+                total += 1;
+            }
+        }
+        prop_assert_eq!(t.total_outstanding(), total);
+        let mut last_epoch = 0u32;
+        for (e, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                prop_assert!(t.is_ready(Timestamp(e as u32)));
+                if let Some(next) = t.completed(Timestamp(e as u32)) {
+                    prop_assert!(next.0 > last_epoch);
+                    last_epoch = next.0;
+                }
+            }
+        }
+        prop_assert!(t.all_done());
+    }
+}

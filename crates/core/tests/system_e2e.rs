@@ -1,0 +1,392 @@
+//! End-to-end tests of the full system simulation with toy applications.
+
+use ndpb_core::config::SystemConfig;
+use ndpb_core::design::DesignPoint;
+use ndpb_core::System;
+use ndpb_dram::{AddressMap, DataAddr, Geometry, UnitId};
+use ndpb_sim::SimTime;
+use ndpb_tasks::{Application, ExecCtx, Task, TaskArgs, TaskFnId, Timestamp};
+
+fn small_config() -> SystemConfig {
+    // One rank (64 units) keeps the tests fast.
+    let mut c = SystemConfig::with_geometry(Geometry::with_total_ranks(2));
+    c.seed = 42;
+    c
+}
+
+fn map_of(c: &SystemConfig) -> AddressMap {
+    AddressMap::new(&c.geometry, c.g_xfer, c.timing.row_bytes)
+}
+
+/// Purely local work: `per_unit` tasks on each of the first `units`
+/// units; no cross-unit messages ever.
+struct LocalOnly {
+    units: u32,
+    per_unit: u32,
+    bank_bytes: u64,
+    executed: u64,
+}
+
+impl LocalOnly {
+    fn new(c: &SystemConfig, units: u32, per_unit: u32) -> Self {
+        LocalOnly {
+            units,
+            per_unit,
+            bank_bytes: c.geometry.bank_bytes,
+            executed: 0,
+        }
+    }
+}
+
+impl Application for LocalOnly {
+    fn name(&self) -> &str {
+        "local-only"
+    }
+    fn initial_tasks(&mut self) -> Vec<Task> {
+        let mut v = Vec::new();
+        for u in 0..self.units {
+            for i in 0..self.per_unit {
+                v.push(Task::new(
+                    TaskFnId(0),
+                    Timestamp(0),
+                    DataAddr(u as u64 * self.bank_bytes + i as u64 * 64),
+                    50,
+                    TaskArgs::EMPTY,
+                ));
+            }
+        }
+        v
+    }
+    fn execute(&mut self, task: &Task, ctx: &mut ExecCtx) {
+        ctx.compute(50);
+        ctx.read(task.data, 64);
+        self.executed += 1;
+    }
+    fn checksum(&self) -> u64 {
+        self.executed
+    }
+}
+
+/// A chain: each task hops to the next unit `hops` times. Exercises
+/// cross-unit messaging.
+struct HopChain {
+    total_units: u64,
+    bank_bytes: u64,
+    hops: u32,
+    chains: u32,
+    completed: u64,
+}
+
+impl HopChain {
+    fn new(c: &SystemConfig, chains: u32, hops: u32) -> Self {
+        HopChain {
+            total_units: c.geometry.total_units() as u64,
+            bank_bytes: c.geometry.bank_bytes,
+            hops,
+            chains,
+            completed: 0,
+        }
+    }
+}
+
+impl Application for HopChain {
+    fn name(&self) -> &str {
+        "hop-chain"
+    }
+    fn initial_tasks(&mut self) -> Vec<Task> {
+        (0..self.chains)
+            .map(|i| {
+                Task::new(
+                    TaskFnId(0),
+                    Timestamp(0),
+                    DataAddr((i as u64 % self.total_units) * self.bank_bytes),
+                    20,
+                    TaskArgs::two(self.hops as u64, i as u64),
+                )
+            })
+            .collect()
+    }
+    fn execute(&mut self, task: &Task, ctx: &mut ExecCtx) {
+        ctx.compute(20);
+        ctx.read(task.data, 64);
+        let remaining = task.args.get(0);
+        let chain = task.args.get(1);
+        if remaining == 0 {
+            self.completed += 1;
+            return;
+        }
+        let cur_unit = task.data.0 / self.bank_bytes;
+        let next_unit = (cur_unit + 1) % self.total_units;
+        ctx.enqueue_task(
+            TaskFnId(0),
+            task.ts,
+            DataAddr(next_unit * self.bank_bytes + chain as u64 * 64),
+            20,
+            TaskArgs::two(remaining - 1, chain),
+        );
+    }
+    fn checksum(&self) -> u64 {
+        self.completed
+    }
+}
+
+/// Heavily skewed: all the work lands on unit 0 (many independent
+/// tasks), so only load balancing can spread it.
+struct Skewed {
+    tasks: u32,
+    executed: u64,
+}
+
+impl Application for Skewed {
+    fn name(&self) -> &str {
+        "skewed"
+    }
+    fn initial_tasks(&mut self) -> Vec<Task> {
+        (0..self.tasks)
+            .map(|i| {
+                Task::new(
+                    TaskFnId(0),
+                    Timestamp(0),
+                    // Many distinct blocks of unit 0.
+                    DataAddr((i as u64 % 512) * 256),
+                    200,
+                    TaskArgs::EMPTY,
+                )
+            })
+            .collect()
+    }
+    fn execute(&mut self, task: &Task, ctx: &mut ExecCtx) {
+        ctx.compute(200);
+        ctx.read(task.data, 64);
+        self.executed += 1;
+    }
+    fn checksum(&self) -> u64 {
+        self.executed
+    }
+}
+
+/// Bulk-synchronous two-epoch app verifying the barrier globally.
+struct Epochal {
+    units: u32,
+    bank_bytes: u64,
+    phase0_done: u64,
+    out_of_order: u64,
+}
+
+impl Application for Epochal {
+    fn name(&self) -> &str {
+        "epochal"
+    }
+    fn initial_tasks(&mut self) -> Vec<Task> {
+        (0..self.units)
+            .map(|u| {
+                Task::new(
+                    TaskFnId(0),
+                    Timestamp(0),
+                    DataAddr(u as u64 * self.bank_bytes),
+                    30,
+                    TaskArgs::EMPTY,
+                )
+            })
+            .collect()
+    }
+    fn execute(&mut self, task: &Task, ctx: &mut ExecCtx) {
+        ctx.compute(30);
+        if task.ts == Timestamp(0) {
+            self.phase0_done += 1;
+            // Next-epoch task on the *next* unit (cross-unit + barrier).
+            let next = (task.data.0 / self.bank_bytes + 1) % self.units as u64;
+            ctx.enqueue_task(
+                TaskFnId(1),
+                Timestamp(1),
+                DataAddr(next * self.bank_bytes),
+                30,
+                TaskArgs::EMPTY,
+            );
+        } else if self.phase0_done < self.units as u64 {
+            self.out_of_order += 1;
+        }
+    }
+    fn checksum(&self) -> u64 {
+        self.out_of_order
+    }
+}
+
+#[test]
+fn local_only_completes_on_every_design() {
+    for design in [
+        DesignPoint::C,
+        DesignPoint::B,
+        DesignPoint::W,
+        DesignPoint::O,
+        DesignPoint::R,
+    ] {
+        let c = small_config();
+        let app = LocalOnly::new(&c, 32, 4);
+        let r = System::new(c, design, Box::new(app)).run();
+        assert_eq!(r.tasks_executed, 128, "{design}");
+        assert_eq!(r.checksum, 128, "{design}");
+        assert!(r.makespan > SimTime::ZERO, "{design}");
+    }
+}
+
+#[test]
+fn local_only_needs_no_messages_without_lb() {
+    for design in [DesignPoint::C, DesignPoint::B, DesignPoint::R] {
+        let c = small_config();
+        let app = LocalOnly::new(&c, 16, 4);
+        let r = System::new(c, design, Box::new(app)).run();
+        assert_eq!(r.messages_delivered, 0, "{design}");
+        assert_eq!(r.channel_bytes, 0, "{design}");
+    }
+}
+
+#[test]
+fn hop_chain_completes_on_every_design() {
+    for design in [
+        DesignPoint::C,
+        DesignPoint::B,
+        DesignPoint::W,
+        DesignPoint::O,
+        DesignPoint::R,
+    ] {
+        let c = small_config();
+        let app = HopChain::new(&c, 16, 10);
+        let r = System::new(c, design, Box::new(app)).run();
+        // 16 chains × (10 hops + 1 final) tasks.
+        assert_eq!(r.tasks_executed, 16 * 11, "{design}");
+        assert_eq!(r.checksum, 16, "{design}");
+        assert!(r.messages_delivered > 0, "{design}");
+    }
+}
+
+#[test]
+fn bridges_beat_host_forwarding_on_messaging() {
+    // The bridge advantage needs ranks *sharing* a channel (Table I has
+    // four per channel); with one rank per channel C's polling is cheap.
+    let mk = |design| {
+        let mut c = SystemConfig::table1();
+        c.seed = 42;
+        let app = HopChain::new(&c, 256, 20);
+        System::new(c, design, Box::new(app)).run()
+    };
+    let c_run = mk(DesignPoint::C);
+    let b_run = mk(DesignPoint::B);
+    assert!(
+        b_run.makespan < c_run.makespan,
+        "B ({}) should beat C ({})",
+        b_run.makespan,
+        c_run.makespan
+    );
+}
+
+#[test]
+fn load_balancing_helps_skewed_work() {
+    let mk = |design| {
+        let c = small_config();
+        let app = Skewed {
+            tasks: 2000,
+            executed: 0,
+        };
+        System::new(c, design, Box::new(app)).run()
+    };
+    let b = mk(DesignPoint::B);
+    let o = mk(DesignPoint::O);
+    assert_eq!(b.tasks_executed, 2000);
+    assert_eq!(o.tasks_executed, 2000);
+    assert!(o.blocks_migrated > 0, "O must migrate blocks");
+    assert!(
+        o.makespan < b.makespan,
+        "O ({}) should beat B ({}) on skew",
+        o.makespan,
+        b.makespan
+    );
+    // Balance (avg/max) must improve.
+    assert!(o.balance > b.balance);
+}
+
+#[test]
+fn epochs_are_globally_synchronized() {
+    for design in [DesignPoint::C, DesignPoint::B, DesignPoint::O] {
+        let c = small_config();
+        let units = c.geometry.total_units();
+        let app = Epochal {
+            units,
+            bank_bytes: c.geometry.bank_bytes,
+            phase0_done: 0,
+            out_of_order: 0,
+        };
+        let r = System::new(c, design, Box::new(app)).run();
+        assert_eq!(r.tasks_executed as u32, units * 2, "{design}");
+        assert_eq!(r.checksum, 0, "epoch barrier violated under {design}");
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let mk = || {
+        let c = small_config();
+        let app = HopChain::new(&c, 32, 8);
+        System::new(c, DesignPoint::O, Box::new(app)).run()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.tasks_executed, b.tasks_executed);
+    assert_eq!(a.messages_delivered, b.messages_delivered);
+    assert_eq!(a.channel_bytes, b.channel_bytes);
+    assert_eq!(a.events, b.events);
+}
+
+#[test]
+fn rowclone_uses_less_channel_than_host_forwarding() {
+    // Same-chip ring: hops stay within chip 0 of rank 0 where possible.
+    let mk = |design| {
+        let c = small_config();
+        let app = HopChain::new(&c, 8, 6);
+        System::new(c, design, Box::new(app)).run()
+    };
+    let c_run = mk(DesignPoint::C);
+    let r_run = mk(DesignPoint::R);
+    // HopChain hops unit k → k+1, which stays in-chip 7 of 8 times.
+    assert!(
+        r_run.channel_bytes < c_run.channel_bytes,
+        "R ({}) should move fewer channel bytes than C ({})",
+        r_run.channel_bytes,
+        c_run.channel_bytes
+    );
+    assert!(r_run.makespan <= c_run.makespan);
+}
+
+#[test]
+fn energy_breakdown_is_populated() {
+    let c = small_config();
+    let app = HopChain::new(&c, 16, 4);
+    let r = System::new(c, DesignPoint::B, Box::new(app)).run();
+    assert!(r.energy.core_sram_pj > 0.0);
+    assert!(r.energy.dram_local_pj > 0.0);
+    assert!(r.energy.dram_comm_pj > 0.0);
+    assert!(r.energy.static_pj > 0.0);
+    assert!(r.energy.total_pj() > 0.0);
+}
+
+#[test]
+fn wait_fraction_bounded() {
+    let c = small_config();
+    let app = HopChain::new(&c, 16, 16);
+    let r = System::new(c, DesignPoint::C, Box::new(app)).run();
+    assert!((0.0..=1.0).contains(&r.wait_fraction), "{}", r.wait_fraction);
+    assert!((0.0..=1.0).contains(&r.balance));
+    assert!(r.avg_unit_time <= r.makespan);
+}
+
+#[test]
+fn address_map_accessor_matches_config() {
+    let c = small_config();
+    let g = c.g_xfer;
+    let app = LocalOnly::new(&c, 1, 1);
+    let sys = System::new(c, DesignPoint::B, Box::new(app));
+    assert_eq!(sys.address_map().block_bytes(), g);
+    assert_eq!(sys.address_map().home_unit(DataAddr(0)), UnitId(0));
+    let _ = map_of(&small_config());
+}

@@ -1,0 +1,198 @@
+//! Energy model.
+//!
+//! Parameters follow the paper's methodology (Section VII): each 64-bit
+//! DRAM bank read/write costs 150 pJ (measured on UPMEM [20]), NDP cores
+//! consume 10 mW when active (ARM Cortex-M3 class), off-chip channel
+//! transfer energy follows [25], and SRAM access energy is CACTI-7-class.
+//! Figure 13 breaks system energy into four components: (1) NDP cores +
+//! SRAM, (2) local DRAM bank accesses, (3) DRAM accesses for cross-unit
+//! communication, and (4) static energy; [`EnergyBreakdown`] mirrors that.
+
+use ndpb_sim::SimTime;
+
+/// Energy model parameters. All energies in picojoules, powers in watts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyParams {
+    /// DRAM bank array access energy per byte (150 pJ / 64 bits).
+    pub dram_pj_per_byte: f64,
+    /// Off-chip channel wire energy per byte (from [25]-class numbers).
+    pub channel_pj_per_byte: f64,
+    /// Intra-rank (chip-to-buffer-chip) wire energy per byte; shorter
+    /// traces than the full channel.
+    pub rank_pj_per_byte: f64,
+    /// SRAM buffer/metadata access energy per byte (CACTI-7-class for the
+    /// small kB-scale structures of Table I).
+    pub sram_pj_per_byte: f64,
+    /// Active power of one NDP core (10 mW per the paper).
+    pub core_active_w: f64,
+    /// Static (leakage + refresh share) power per NDP unit.
+    pub unit_static_w: f64,
+    /// Static power of one level-1 bridge (buffer-chip logic + SRAM).
+    pub bridge_static_w: f64,
+}
+
+impl EnergyParams {
+    /// The paper's parameters.
+    pub fn paper() -> Self {
+        EnergyParams {
+            dram_pj_per_byte: 150.0 / 8.0,
+            channel_pj_per_byte: 13.0,
+            rank_pj_per_byte: 4.0,
+            sram_pj_per_byte: 0.3,
+            core_active_w: 10e-3,
+            unit_static_w: 2e-3,
+            bridge_static_w: 20e-3,
+        }
+    }
+
+    /// DRAM array energy for `bytes` bytes.
+    pub fn dram_pj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.dram_pj_per_byte
+    }
+
+    /// Channel wire energy for `bytes` bytes.
+    pub fn channel_pj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.channel_pj_per_byte
+    }
+
+    /// Intra-rank wire energy for `bytes` bytes.
+    pub fn rank_pj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.rank_pj_per_byte
+    }
+
+    /// SRAM access energy for `bytes` bytes.
+    pub fn sram_pj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.sram_pj_per_byte
+    }
+
+    /// Core active energy over a busy duration.
+    pub fn core_pj(&self, busy: SimTime) -> f64 {
+        self.core_active_w * busy.as_secs() * 1e12
+    }
+
+    /// Static energy of `units` NDP units and `bridges` level-1 bridges
+    /// over a wall-clock duration.
+    pub fn static_pj(&self, units: u32, bridges: u32, elapsed: SimTime) -> f64 {
+        (units as f64 * self.unit_static_w + bridges as f64 * self.bridge_static_w)
+            * elapsed.as_secs()
+            * 1e12
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Figure 13's four-component energy breakdown, in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// NDP cores and SRAM caches/buffers/metadata.
+    pub core_sram_pj: f64,
+    /// Local DRAM bank accesses (task data).
+    pub dram_local_pj: f64,
+    /// DRAM bank accesses plus wires for cross-unit communication
+    /// (mailbox reads/writes, gathers/scatters, forwarding).
+    pub dram_comm_pj: f64,
+    /// Static energy.
+    pub static_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total_pj(&self) -> f64 {
+        self.core_sram_pj + self.dram_local_pj + self.dram_comm_pj + self.static_pj
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &EnergyBreakdown) {
+        self.core_sram_pj += other.core_sram_pj;
+        self.dram_local_pj += other.dram_local_pj;
+        self.dram_comm_pj += other.dram_comm_pj;
+        self.static_pj += other.static_pj;
+    }
+
+    /// Fractions of the total per component, in Figure 13's order
+    /// `(core+SRAM, local DRAM, comm DRAM, static)`. All zeros if empty.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total_pj();
+        if t == 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.core_sram_pj / t,
+            self.dram_local_pj / t,
+            self.dram_comm_pj / t,
+            self.static_pj / t,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dram_energy_per_64bit() {
+        let p = EnergyParams::paper();
+        assert!((p.dram_pj(8) - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_energy_scales_with_time() {
+        let p = EnergyParams::paper();
+        // 10 mW for 1 second = 10 mJ = 1e10 pJ.
+        let one_sec = SimTime::from_core_cycles(400_000_000);
+        assert!((p.core_pj(one_sec) - 1e10).abs() / 1e10 < 1e-9);
+    }
+
+    #[test]
+    fn static_energy_counts_components() {
+        let p = EnergyParams::paper();
+        let t = SimTime::from_core_cycles(400_000); // 1 ms
+        let e1 = p.static_pj(512, 8, t);
+        let e2 = p.static_pj(1024, 16, t);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_total_and_fractions() {
+        let b = EnergyBreakdown {
+            core_sram_pj: 1.0,
+            dram_local_pj: 2.0,
+            dram_comm_pj: 3.0,
+            static_pj: 4.0,
+        };
+        assert!((b.total_pj() - 10.0).abs() < 1e-12);
+        let f = b.fractions();
+        assert!((f[0] - 0.1).abs() < 1e-12);
+        assert!((f[3] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_add_accumulates() {
+        let mut a = EnergyBreakdown::default();
+        let b = EnergyBreakdown {
+            core_sram_pj: 1.0,
+            dram_local_pj: 1.0,
+            dram_comm_pj: 1.0,
+            static_pj: 1.0,
+        };
+        a.add(&b);
+        a.add(&b);
+        assert!((a.total_pj() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_fractions_are_zero() {
+        assert_eq!(EnergyBreakdown::default().fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn wire_energies_ordered() {
+        let p = EnergyParams::paper();
+        assert!(p.channel_pj(64) > p.rank_pj(64));
+        assert!(p.rank_pj(64) > p.sram_pj(64));
+    }
+}

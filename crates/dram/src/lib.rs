@@ -1,0 +1,36 @@
+//! DRAM substrate models for the NDPBridge reproduction.
+//!
+//! The paper evaluates near-DRAM-bank NDP systems built from commodity
+//! DDR4-2400 DIMMs (UPMEM-style: 2 channels × 4 ranks × 8 chips × 8 banks,
+//! one NDP unit per bank). This crate models everything below the NDP
+//! logic:
+//!
+//! * [`geometry`] — the channel/rank/chip/bank hierarchy and unit IDs;
+//! * [`address`] — the NDP data address space, block (`G_xfer`) granularity
+//!   and home-unit mapping (the paper assumes UPMEM-style coarse-grained
+//!   interleaving so each unit's data is local, Section II-B);
+//! * [`timing`] — DDR timing parameters in simulator ticks;
+//! * [`bank`] — a per-bank state machine (open row, busy-until) that also
+//!   plays the role of the paper's *access arbiter*: every access from the
+//!   local core, the bridge, or the host serializes through it;
+//! * [`bus`] — reservation-based links: the intra-rank DQ bus between banks
+//!   and the level-1 bridge, and the DDR channel between ranks and the
+//!   host/level-2 bridge;
+//! * [`energy`] — the energy model (150 pJ per 64-bit bank access,
+//!   10 mW cores, per-bit link energies).
+
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod bank;
+pub mod bus;
+pub mod energy;
+pub mod geometry;
+pub mod timing;
+
+pub use address::{AddressMap, BlockAddr, DataAddr};
+pub use bank::BankModel;
+pub use bus::Bus;
+pub use energy::{EnergyBreakdown, EnergyParams};
+pub use geometry::{ChannelId, Geometry, RankId, UnitId};
+pub use timing::DramTiming;

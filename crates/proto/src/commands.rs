@@ -1,0 +1,114 @@
+//! Bridge command encodings.
+//!
+//! NDPBridge introduces no new DDR commands: the bridge's command
+//! generator *forges* standard ACTIVATE/READ/WRITE commands targeting a
+//! reserved row (`R_ROW`) and column (`R_COL`) outside the physical
+//! array range, which the unit controller's command handler decodes
+//! (Section V-B). We model each command's C/A-link occupancy and the
+//! payload it moves.
+
+use ndpb_sim::{SimTime, TICKS_PER_BUS_CYCLE};
+
+/// Reserved row address used by the forged commands (beyond the 64 MB
+/// bank's real rows; 1 kB rows ⇒ 65536 real rows per bank).
+pub const R_ROW: u64 = 1 << 20;
+
+/// Reserved column address for GATHER/SCATTER.
+pub const R_COL: u64 = 1 << 12;
+
+/// The four bridge commands of Section V-B / VI-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BridgeCommand {
+    /// ACTIVATE to `R_ROW`: the child replies with one state message.
+    StateGather,
+    /// READ to `R_COL`: drain up to `G_xfer` bytes from the child's
+    /// mailbox head.
+    Gather,
+    /// WRITE to `R_COL`: deliver up to `G_xfer` bytes of messages to the
+    /// child (task queue / borrowed data region / lower bridge).
+    Scatter,
+    /// ACTIVATE with the workload budget encoded into the (reserved
+    /// prefix of the) row address: tells a giver how much workload to
+    /// schedule out.
+    Schedule {
+        /// Workload (estimated cycles) the giver should lend out.
+        budget: u64,
+    },
+}
+
+impl BridgeCommand {
+    /// C/A-link occupancy of issuing this command: one DDR command slot
+    /// (one bus clock). Commands to the same bank position of all chips
+    /// in a rank are issued once and decoded by every chip in parallel.
+    pub fn ca_time(&self) -> SimTime {
+        SimTime::from_ticks(TICKS_PER_BUS_CYCLE)
+    }
+
+    /// Whether this command moves data on the DQ links (GATHER/SCATTER)
+    /// or only commands/state.
+    pub fn moves_payload(&self) -> bool {
+        matches!(self, BridgeCommand::Gather | BridgeCommand::Scatter)
+    }
+
+    /// The DDR row address this command is encoded onto, demonstrating
+    /// that budgets fit the reserved row-address space.
+    pub fn encoded_row(&self) -> u64 {
+        match self {
+            BridgeCommand::StateGather => R_ROW,
+            BridgeCommand::Gather | BridgeCommand::Scatter => R_ROW,
+            BridgeCommand::Schedule { budget } => R_ROW | (budget & (R_ROW - 1)),
+        }
+    }
+
+    /// Decodes a row address back into a SCHEDULE budget, as the unit
+    /// controller's command handler does.
+    pub fn decode_budget(row: u64) -> Option<u64> {
+        if row & R_ROW != 0 {
+            Some(row & (R_ROW - 1))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_slot_is_one_bus_cycle() {
+        assert_eq!(
+            BridgeCommand::Gather.ca_time(),
+            SimTime::from_ticks(TICKS_PER_BUS_CYCLE)
+        );
+    }
+
+    #[test]
+    fn payload_classification() {
+        assert!(BridgeCommand::Gather.moves_payload());
+        assert!(BridgeCommand::Scatter.moves_payload());
+        assert!(!BridgeCommand::StateGather.moves_payload());
+        assert!(!BridgeCommand::Schedule { budget: 5 }.moves_payload());
+    }
+
+    #[test]
+    fn budget_round_trips_through_row_address() {
+        for budget in [0u64, 1, 1000, R_ROW - 1] {
+            let cmd = BridgeCommand::Schedule { budget };
+            let row = cmd.encoded_row();
+            assert!(row >= R_ROW, "reserved prefix set");
+            assert_eq!(BridgeCommand::decode_budget(row), Some(budget));
+        }
+    }
+
+    #[test]
+    fn real_rows_do_not_decode_as_budget() {
+        assert_eq!(BridgeCommand::decode_budget(1234), None);
+    }
+
+    #[test]
+    fn reserved_row_is_outside_real_array() {
+        // 64 MB bank with 1 kB rows has 65536 rows; R_ROW is far above.
+        assert!(R_ROW > (64 << 20) / 1024);
+    }
+}

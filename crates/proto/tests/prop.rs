@@ -1,0 +1,120 @@
+//! Property-based tests for mailboxes and message accounting.
+
+use ndpb_dram::{BlockAddr, DataAddr};
+use ndpb_proto::message::DataMessage;
+use ndpb_proto::{Mailbox, Message};
+use ndpb_tasks::{Task, TaskArgs, TaskFnId, Timestamp};
+use proptest::prelude::*;
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (0u16..8, 0u32..4, 0u64..(1 << 30), 0u32..1000).prop_map(|(f, ts, addr, wl)| {
+            Message::Task(
+                Task::new(
+                    TaskFnId(f),
+                    Timestamp(ts),
+                    DataAddr(addr),
+                    wl,
+                    TaskArgs::one(7),
+                ),
+                false,
+            )
+        }),
+        (0u64..1000, 1u32..1024, 0u64..100).prop_map(|(b, bytes, wl)| {
+            Message::Data(
+                DataMessage {
+                    block: BlockAddr(b),
+                    bytes,
+                    workload: wl,
+                },
+                None,
+            )
+        }),
+    ]
+}
+
+proptest! {
+    /// Byte accounting is conserved: used = pushed − drained, and never
+    /// exceeds capacity.
+    #[test]
+    fn mailbox_conserves_bytes(
+        msgs in prop::collection::vec(arb_message(), 1..100),
+        budgets in prop::collection::vec(1u32..2048, 1..50),
+    ) {
+        let mut mb = Mailbox::new(64 << 10);
+        let mut pushed = 0u64;
+        let mut accepted = 0u64;
+        for m in msgs {
+            let sz = m.wire_bytes() as u64;
+            if mb.push(m).is_ok() {
+                pushed += sz;
+                accepted += 1;
+            }
+            prop_assert!(mb.bytes_used() <= mb.capacity());
+        }
+        let mut drained_bytes = 0u64;
+        let mut drained = 0u64;
+        for b in budgets {
+            for m in mb.drain_up_to(b) {
+                drained_bytes += m.wire_bytes() as u64;
+                drained += 1;
+            }
+        }
+        prop_assert_eq!(mb.bytes_used(), pushed - drained_bytes);
+        prop_assert_eq!(mb.len() as u64, accepted - drained);
+    }
+
+    /// Drain order equals push order (FIFO), regardless of budgets.
+    #[test]
+    fn mailbox_is_fifo(
+        msgs in prop::collection::vec(arb_message(), 1..60),
+        budget in 1u32..512,
+    ) {
+        let mut mb = Mailbox::new(1 << 20);
+        for m in &msgs {
+            mb.push(m.clone()).unwrap();
+        }
+        let mut out = Vec::new();
+        while !mb.is_empty() {
+            out.extend(mb.drain_up_to(budget));
+        }
+        prop_assert_eq!(out, msgs);
+    }
+
+    /// try_push never loses a message: it is either queued or returned.
+    #[test]
+    fn try_push_never_drops(msgs in prop::collection::vec(arb_message(), 1..100)) {
+        let mut mb = Mailbox::new(512);
+        let mut kept = 0usize;
+        let mut returned = 0usize;
+        for m in msgs.iter().cloned() {
+            match mb.try_push(m.clone()) {
+                None => kept += 1,
+                Some(back) => {
+                    prop_assert_eq!(back, m);
+                    returned += 1;
+                }
+            }
+        }
+        prop_assert_eq!(kept + returned, msgs.len());
+        prop_assert_eq!(mb.len(), kept);
+    }
+
+    /// Wire sizes respect the 64 B sub-message format: task messages fit
+    /// one message, data messages cost payload plus per-sub-message
+    /// headers.
+    #[test]
+    fn wire_bytes_bounds(m in arb_message()) {
+        let sz = m.wire_bytes();
+        match &m {
+            Message::Task(..) => prop_assert!(sz <= 64),
+            Message::Data(d, _) => {
+                prop_assert!(sz > d.bytes);
+                // Overhead is bounded by one header per 54-byte chunk.
+                let subs = d.bytes.div_ceil(54).max(1);
+                prop_assert!(sz <= d.bytes + subs * 10);
+            }
+            Message::State(_) => {}
+        }
+    }
+}

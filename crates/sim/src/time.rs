@@ -1,0 +1,213 @@
+//! Simulation time.
+//!
+//! All simulation timing is expressed in integer *ticks*. One tick is one
+//! half cycle of the DDR4-2400 bus (2400 MT/s), i.e. 1/2.4 ns ≈ 0.4167 ns.
+//! This base was chosen because every clock in the modeled system divides
+//! it evenly:
+//!
+//! * one DDR bus cycle (1200 MHz) = [`TICKS_PER_BUS_CYCLE`] = 2 ticks,
+//! * one NDP core cycle (400 MHz) = [`TICKS_PER_CORE_CYCLE`] = 6 ticks,
+//! * one data beat on a single DQ pin = 1 tick (one bit per pin per tick).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Number of ticks per DDR4-2400 bus clock cycle (1200 MHz).
+pub const TICKS_PER_BUS_CYCLE: u64 = 2;
+
+/// Number of ticks per NDP core clock cycle (400 MHz, following UPMEM).
+pub const TICKS_PER_CORE_CYCLE: u64 = 6;
+
+/// Number of ticks in one nanosecond, as a rational (numerator,
+/// denominator): 2.4 ticks per ns.
+const TICKS_PER_NS_NUM: u64 = 12;
+const TICKS_PER_NS_DEN: u64 = 5;
+
+/// A point in simulated time, measured in ticks since simulation start.
+///
+/// `SimTime` is also used to express durations; the arithmetic operators
+/// treat it as a plain unsigned quantity and panic on overflow/underflow in
+/// debug builds, like the underlying `u64`.
+///
+/// # Example
+///
+/// ```
+/// use ndpb_sim::SimTime;
+/// let t = SimTime::from_core_cycles(10);
+/// assert_eq!(t.ticks(), 60);
+/// assert_eq!(t.core_cycles(), 10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time later than any time a simulation will reach; used as the
+    /// "never" sentinel for deadlines.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from a raw tick count.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Creates a time from NDP core cycles (400 MHz).
+    pub const fn from_core_cycles(cycles: u64) -> Self {
+        SimTime(cycles * TICKS_PER_CORE_CYCLE)
+    }
+
+    /// Creates a time from DDR bus cycles (1200 MHz).
+    pub const fn from_bus_cycles(cycles: u64) -> Self {
+        SimTime(cycles * TICKS_PER_BUS_CYCLE)
+    }
+
+    /// Creates a time from nanoseconds, rounding up to the next tick so
+    /// that modeled latencies are never optimistic.
+    pub const fn from_ns_ceil(ns: u64) -> Self {
+        SimTime((ns * TICKS_PER_NS_NUM).div_ceil(TICKS_PER_NS_DEN))
+    }
+
+    /// The raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in whole NDP core cycles (truncating).
+    pub const fn core_cycles(self) -> u64 {
+        self.0 / TICKS_PER_CORE_CYCLE
+    }
+
+    /// This time expressed in nanoseconds as a float (for reporting only).
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 * TICKS_PER_NS_DEN as f64 / TICKS_PER_NS_NUM as f64
+    }
+
+    /// This time in seconds as a float (for energy/power reporting only).
+    pub fn as_secs(self) -> f64 {
+        self.as_ns() * 1e-9
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other` is later.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition, `None` on overflow. Useful when adding to
+    /// [`SimTime::MAX`] sentinels.
+    pub fn checked_add(self, d: SimTime) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+
+    /// The larger of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}ns", self.as_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_cycle_is_six_ticks() {
+        assert_eq!(SimTime::from_core_cycles(1).ticks(), 6);
+        assert_eq!(SimTime::from_core_cycles(400_000_000).as_ns(), 1e9);
+    }
+
+    #[test]
+    fn bus_cycle_is_two_ticks() {
+        assert_eq!(SimTime::from_bus_cycles(3).ticks(), 6);
+    }
+
+    #[test]
+    fn ns_conversion_rounds_up() {
+        // 17 ns (CAS latency) = 40.8 ticks -> 41.
+        assert_eq!(SimTime::from_ns_ceil(17).ticks(), 41);
+        // 5 ns = 12 ticks exactly.
+        assert_eq!(SimTime::from_ns_ceil(5).ticks(), 12);
+    }
+
+    #[test]
+    fn as_ns_round_trips_exact_values() {
+        let t = SimTime::from_ns_ceil(5);
+        assert!((t.as_ns() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let a = SimTime::from_ticks(5);
+        let b = SimTime::from_ticks(9);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(b.saturating_sub(a), SimTime::from_ticks(4));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = SimTime::from_ticks(5);
+        let b = SimTime::from_ticks(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(SimTime::MAX.checked_add(SimTime::from_ticks(1)).is_none());
+        assert_eq!(
+            SimTime::ZERO.checked_add(SimTime::from_ticks(1)),
+            Some(SimTime::from_ticks(1))
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::from_ticks(12);
+        assert_eq!(format!("{t:?}"), "12t");
+        assert_eq!(format!("{t}"), "5.0ns");
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the simulation kernel.
+
+use ndpb_sim::{EventQueue, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The queue pops events in (time, insertion) order — i.e. exactly
+    /// a stable sort by timestamp.
+    #[test]
+    fn event_queue_matches_stable_sort(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ticks(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+        expected.sort_by_key(|&(t, i)| (t, i));
+        let mut got = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            got.push((t.ticks(), i));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The clock never moves backwards.
+    #[test]
+    fn clock_is_monotone(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime::from_ticks(t), ());
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, ())) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// `next_below` stays in range for arbitrary seeds and bounds.
+    #[test]
+    fn rng_next_below_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// Shuffling preserves the multiset.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), mut v in prop::collection::vec(any::<u32>(), 0..100)) {
+        let mut rng = SimRng::new(seed);
+        let mut orig = v.clone();
+        rng.shuffle(&mut v);
+        orig.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(orig, v);
+    }
+
+    /// Time conversions: core cycles round-trip through ticks.
+    #[test]
+    fn core_cycle_round_trip(cycles in 0u64..(1 << 40)) {
+        let t = SimTime::from_core_cycles(cycles);
+        prop_assert_eq!(t.core_cycles(), cycles);
+    }
+
+    /// ns conversion never under-estimates (rounds up).
+    #[test]
+    fn ns_ceil_is_conservative(ns in 0u64..(1 << 40)) {
+        let t = SimTime::from_ns_ceil(ns);
+        prop_assert!(t.as_ns() >= ns as f64 - 1e-6);
+        // And overshoots by less than one tick.
+        prop_assert!(t.as_ns() < ns as f64 + 0.42);
+    }
+}

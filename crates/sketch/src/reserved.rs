@@ -1,0 +1,198 @@
+//! The in-DRAM reserved task queue (Figure 9, right).
+//!
+//! Tasks whose data block is tracked by the sketch are parked here,
+//! grouped by block, so a chosen hot block can leave together with all
+//! its tasks. Storage is accounted in fixed-size chunks (`G_xfer` bytes,
+//! ~8 tasks each, 1280 chunks per unit by default); when the chunk pool
+//! is exhausted, further tasks overflow to the normal task queue.
+
+use std::collections::HashMap;
+
+/// A chunked, per-key task store with a bounded chunk pool.
+///
+/// # Example
+///
+/// ```
+/// use ndpb_sketch::ReservedQueue;
+/// let mut q: ReservedQueue<&str> = ReservedQueue::new(4, 2);
+/// q.reserve(7, "a").unwrap();
+/// q.reserve(7, "b").unwrap();
+/// assert_eq!(q.take(7), vec!["a", "b"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReservedQueue<T> {
+    chunk_pool: usize,
+    tasks_per_chunk: usize,
+    lists: HashMap<u64, Vec<T>>,
+    chunks_used: usize,
+}
+
+impl<T> ReservedQueue<T> {
+    /// Creates a queue with `chunk_pool` chunks of `tasks_per_chunk`
+    /// tasks each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(chunk_pool: usize, tasks_per_chunk: usize) -> Self {
+        assert!(chunk_pool > 0 && tasks_per_chunk > 0);
+        ReservedQueue {
+            chunk_pool,
+            tasks_per_chunk,
+            lists: HashMap::new(),
+            chunks_used: 0,
+        }
+    }
+
+    /// The paper's default: 1280 chunks of `G_xfer` = 256 bytes, about
+    /// 8 tasks (32 B records) per chunk ⇒ roughly 10 000 tasks.
+    pub fn paper_default() -> Self {
+        Self::new(1280, 8)
+    }
+
+    fn chunks_for(&self, tasks: usize) -> usize {
+        // Every key holds at least its statically assigned chunk.
+        tasks.div_ceil(self.tasks_per_chunk).max(1)
+    }
+
+    /// Parks `task` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the task back if admitting it would exceed the chunk
+    /// pool; the caller should fall back to the normal task queue.
+    pub fn reserve(&mut self, key: u64, task: T) -> Result<(), T> {
+        let cur_len = self.lists.get(&key).map_or(0, Vec::len);
+        let cur_chunks = if cur_len == 0 && !self.lists.contains_key(&key) {
+            0
+        } else {
+            self.chunks_for(cur_len)
+        };
+        let new_chunks = self.chunks_for(cur_len + 1);
+        let extra = new_chunks - cur_chunks;
+        if self.chunks_used + extra > self.chunk_pool {
+            return Err(task);
+        }
+        self.chunks_used += extra;
+        self.lists.entry(key).or_default().push(task);
+        Ok(())
+    }
+
+    /// Removes and returns all tasks parked under `key`, freeing its
+    /// chunks. Returns an empty vector for unknown keys.
+    pub fn take(&mut self, key: u64) -> Vec<T> {
+        match self.lists.remove(&key) {
+            Some(v) => {
+                self.chunks_used -= self.chunks_for(v.len());
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of tasks parked under `key`.
+    pub fn len_of(&self, key: u64) -> usize {
+        self.lists.get(&key).map_or(0, Vec::len)
+    }
+
+    /// Total parked tasks.
+    pub fn total_tasks(&self) -> usize {
+        self.lists.values().map(Vec::len).sum()
+    }
+
+    /// Chunks currently allocated.
+    pub fn chunks_used(&self) -> usize {
+        self.chunks_used
+    }
+
+    /// Whether no tasks are parked.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Drains every list (used at epoch barriers), returning all tasks.
+    pub fn drain_all(&mut self) -> Vec<T> {
+        self.chunks_used = 0;
+        let mut keys: Vec<u64> = self.lists.keys().copied().collect();
+        keys.sort_unstable(); // deterministic order
+        let mut out = Vec::new();
+        for k in keys {
+            out.extend(self.lists.remove(&k).expect("key exists"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_take() {
+        let mut q = ReservedQueue::new(10, 2);
+        q.reserve(1, 'a').unwrap();
+        q.reserve(1, 'b').unwrap();
+        q.reserve(2, 'c').unwrap();
+        assert_eq!(q.len_of(1), 2);
+        assert_eq!(q.total_tasks(), 3);
+        assert_eq!(q.take(1), vec!['a', 'b']);
+        assert_eq!(q.len_of(1), 0);
+        assert_eq!(q.total_tasks(), 1);
+    }
+
+    #[test]
+    fn chunk_accounting_grows_and_frees() {
+        let mut q = ReservedQueue::new(10, 2);
+        q.reserve(1, 0u32).unwrap();
+        assert_eq!(q.chunks_used(), 1);
+        q.reserve(1, 1).unwrap();
+        assert_eq!(q.chunks_used(), 1); // still fits one chunk
+        q.reserve(1, 2).unwrap();
+        assert_eq!(q.chunks_used(), 2); // linked a second chunk
+        q.take(1);
+        assert_eq!(q.chunks_used(), 0);
+    }
+
+    #[test]
+    fn pool_exhaustion_returns_task() {
+        let mut q = ReservedQueue::new(2, 1);
+        q.reserve(1, 'a').unwrap();
+        q.reserve(2, 'b').unwrap();
+        let back = q.reserve(3, 'c');
+        assert_eq!(back, Err('c'));
+        // Appending to an existing key that needs a new chunk also fails.
+        let back = q.reserve(1, 'd');
+        assert_eq!(back, Err('d'));
+    }
+
+    #[test]
+    fn take_unknown_key_is_empty() {
+        let mut q: ReservedQueue<u8> = ReservedQueue::new(4, 4);
+        assert!(q.take(99).is_empty());
+    }
+
+    #[test]
+    fn drain_all_is_deterministic_and_complete() {
+        let mut q = ReservedQueue::new(16, 2);
+        q.reserve(5, 50).unwrap();
+        q.reserve(1, 10).unwrap();
+        q.reserve(5, 51).unwrap();
+        q.reserve(3, 30).unwrap();
+        assert_eq!(q.drain_all(), vec![10, 30, 50, 51]);
+        assert!(q.is_empty());
+        assert_eq!(q.chunks_used(), 0);
+    }
+
+    #[test]
+    fn paper_default_capacity() {
+        let q: ReservedQueue<u8> = ReservedQueue::paper_default();
+        assert_eq!(q.chunk_pool, 1280);
+        assert_eq!(q.tasks_per_chunk, 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_pool_panics() {
+        ReservedQueue::<u8>::new(0, 1);
+    }
+}

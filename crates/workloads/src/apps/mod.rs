@@ -1,0 +1,77 @@
+//! The eight evaluated applications (Section VII).
+//!
+//! Cost model convention shared by all apps: `ctx.compute(..)` cycles
+//! cover the core's SRAM-resident work, and `ctx.read/write` declare
+//! the DRAM traffic of the task's data element. `est_workload` carries
+//! the task's compute estimate for the load balancer (it may be crude —
+//! the scheduling is dynamic).
+
+pub mod bfs;
+pub mod ht;
+pub mod ll;
+pub mod pr;
+pub mod spmv;
+pub mod stencil;
+pub mod sssp;
+pub mod tree;
+pub mod wcc;
+
+use crate::Scale;
+
+/// Per-scale workload sizing shared across apps.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Sizes {
+    /// Queries (ll/ht/tree).
+    pub queries: usize,
+    /// Elements per unit for query apps.
+    pub elems_per_unit: usize,
+    /// Graph scale (log2 vertices) for bfs/sssp/wcc.
+    pub graph_scale: u32,
+    /// Edge factor (edges = factor × vertices).
+    pub edge_factor: usize,
+    /// PageRank iterations.
+    pub pr_iters: u32,
+    /// PageRank graph scale (smaller: pr generates n+m tasks per iter).
+    pub pr_scale: u32,
+    /// SpMV rows per unit.
+    pub spmv_rows_per_unit: usize,
+    /// SpMV average nnz per row.
+    pub spmv_nnz_per_row: usize,
+}
+
+impl Sizes {
+    pub(crate) fn of(scale: Scale) -> Sizes {
+        match scale {
+            Scale::Tiny => Sizes {
+                queries: 2_000,
+                elems_per_unit: 8,
+                graph_scale: 11,
+                edge_factor: 8,
+                pr_iters: 2,
+                pr_scale: 10,
+                spmv_rows_per_unit: 4,
+                spmv_nnz_per_row: 8,
+            },
+            Scale::Small => Sizes {
+                queries: 24_000,
+                elems_per_unit: 32,
+                graph_scale: 14,
+                edge_factor: 8,
+                pr_iters: 2,
+                pr_scale: 13,
+                spmv_rows_per_unit: 16,
+                spmv_nnz_per_row: 12,
+            },
+            Scale::Full => Sizes {
+                queries: 100_000,
+                elems_per_unit: 64,
+                graph_scale: 16,
+                edge_factor: 8,
+                pr_iters: 3,
+                pr_scale: 14,
+                spmv_rows_per_unit: 32,
+                spmv_nnz_per_row: 16,
+            },
+        }
+    }
+}

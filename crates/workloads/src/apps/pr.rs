@@ -1,0 +1,227 @@
+//! PageRank (`pr`), push-based bulk-synchronous iterations.
+//!
+//! Each iteration uses two epochs: at even timestamps every vertex
+//! computes its new rank from the accumulator and pushes fixed-point
+//! contributions to its out-neighbors (odd timestamp); contribution
+//! tasks add into the target's accumulator. Integer fixed-point
+//! arithmetic keeps the result independent of task ordering.
+
+use ndpb_dram::Geometry;
+use ndpb_tasks::{Application, ExecCtx, Task, TaskArgs, TaskFnId, Timestamp};
+
+use crate::apps::Sizes;
+use crate::{Graph, Layout, Scale};
+
+/// Fixed-point scale (2^20).
+const SCALE_1: u64 = 1 << 20;
+/// Damping factor 0.85 in fixed point.
+const DAMP: u64 = (0.85 * SCALE_1 as f64) as u64;
+
+/// Cycles for a vertex rank update.
+const VERTEX_CYCLES: u64 = 40;
+/// Cycles for one pushed contribution.
+const PUSH_CYCLES: u64 = 6;
+/// Cycles for an accumulate task.
+const ACC_CYCLES: u64 = 12;
+
+/// Task function ids.
+const FN_VERTEX: TaskFnId = TaskFnId(0);
+const FN_CONTRIB: TaskFnId = TaskFnId(1);
+
+/// The `pr` workload.
+#[derive(Debug)]
+pub struct PageRank {
+    graph: Graph,
+    layout: Layout,
+    rank: Vec<u64>,
+    acc: Vec<u64>,
+    iters: u32,
+}
+
+impl PageRank {
+    /// Builds an R-MAT graph with uniform initial ranks.
+    pub fn new(geometry: &Geometry, scale: Scale, seed: u64) -> Self {
+        let s = Sizes::of(scale);
+        let n = 1usize << s.pr_scale;
+        let graph = Graph::rmat_with_locality(s.pr_scale, n * s.edge_factor, 0.4, seed);
+        PageRank {
+            layout: Layout::new(geometry, n as u64, 64),
+            rank: vec![SCALE_1 / n as u64; n],
+            acc: vec![0; n],
+            graph,
+            iters: s.pr_iters,
+        }
+    }
+
+    /// Number of configured iterations.
+    pub fn iterations(&self) -> u32 {
+        self.iters
+    }
+}
+
+impl Application for PageRank {
+    fn name(&self) -> &str {
+        "pr"
+    }
+
+    fn initial_tasks(&mut self) -> Vec<Task> {
+        (0..self.graph.vertices() as u64)
+            .map(|v| {
+                Task::new(
+                    FN_VERTEX,
+                    Timestamp(0),
+                    self.layout.addr_of(v),
+                    (VERTEX_CYCLES + self.graph.degree(v as u32) as u64 * PUSH_CYCLES) as u32,
+                    TaskArgs::one(v),
+                )
+            })
+            .collect()
+    }
+
+    fn execute(&mut self, task: &Task, ctx: &mut ExecCtx) {
+        match task.func {
+            FN_VERTEX => {
+                let v = task.args.get(0) as u32;
+                let iter = task.ts.0 / 2;
+                ctx.compute(VERTEX_CYCLES);
+                ctx.read(task.data, 16);
+                if iter > 0 {
+                    // rank = (1-d)/n + d * acc
+                    let n = self.graph.vertices() as u64;
+                    self.rank[v as usize] =
+                        (SCALE_1 - DAMP) / n + DAMP * self.acc[v as usize] / SCALE_1;
+                    self.acc[v as usize] = 0;
+                    ctx.write(task.data, 16);
+                }
+                let deg = self.graph.degree(v) as u64;
+                if deg > 0 {
+                    let contrib = self.rank[v as usize] / deg;
+                    ctx.compute(deg * PUSH_CYCLES);
+                    ctx.read(task.data, (deg as u32 * 4).min(4096));
+                    for &u in self.graph.neighbors(v) {
+                        ctx.enqueue_task(
+                            FN_CONTRIB,
+                            task.ts.next(),
+                            self.layout.addr_of(u as u64),
+                            ACC_CYCLES as u32,
+                            TaskArgs::two(u as u64, contrib),
+                        );
+                    }
+                }
+                if iter + 1 < self.iters {
+                    ctx.enqueue_task(
+                        FN_VERTEX,
+                        Timestamp(task.ts.0 + 2),
+                        task.data,
+                        (VERTEX_CYCLES + deg * PUSH_CYCLES) as u32,
+                        TaskArgs::one(v as u64),
+                    );
+                } else if iter == self.iters.saturating_sub(1) && self.iters > 0 {
+                    // Final epoch: apply the last accumulation.
+                    ctx.enqueue_task(
+                        TaskFnId(2),
+                        Timestamp(task.ts.0 + 2),
+                        task.data,
+                        VERTEX_CYCLES as u32,
+                        TaskArgs::one(v as u64),
+                    );
+                }
+            }
+            FN_CONTRIB => {
+                let u = task.args.get(0) as usize;
+                ctx.compute(ACC_CYCLES);
+                ctx.read(task.data, 8);
+                ctx.write(task.data, 8);
+                self.acc[u] += task.args.get(1);
+            }
+            _ => {
+                // Final apply.
+                let v = task.args.get(0) as usize;
+                let n = self.graph.vertices() as u64;
+                ctx.compute(VERTEX_CYCLES);
+                ctx.write(task.data, 16);
+                self.rank[v] = (SCALE_1 - DAMP) / n + DAMP * self.acc[v] / SCALE_1;
+                self.acc[v] = 0;
+            }
+        }
+    }
+
+    fn checksum(&self) -> u64 {
+        self.rank.iter().fold(0u64, |a, &r| a.wrapping_add(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndpb_dram::UnitId;
+    use ndpb_sim::SimRng;
+
+    fn run_serial(app: &mut PageRank, shuffle: Option<u64>) {
+        use std::collections::BTreeMap;
+        let mut by_ts: BTreeMap<u32, Vec<Task>> = BTreeMap::new();
+        for t in app.initial_tasks() {
+            by_ts.entry(t.ts.0).or_default().push(t);
+        }
+        let mut rng = shuffle.map(SimRng::new);
+        while let Some((&ts, _)) = by_ts.iter().next() {
+            let mut tasks = by_ts.remove(&ts).expect("exists");
+            if let Some(r) = rng.as_mut() {
+                r.shuffle(&mut tasks);
+            }
+            for t in tasks {
+                let mut ctx = ExecCtx::new(UnitId(0));
+                app.execute(&t, &mut ctx);
+                for c in ctx.into_spawned() {
+                    assert!(c.ts.0 > ts, "children must move forward in time");
+                    by_ts.entry(c.ts.0).or_default().push(c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_form_a_distribution() {
+        let g = Geometry::with_total_ranks(1);
+        let mut app = PageRank::new(&g, Scale::Tiny, 5);
+        run_serial(&mut app, None);
+        let total: u64 = app.rank.iter().sum();
+        // Σ rank ≈ 1.0 in fixed point (within rounding loss).
+        assert!(
+            total > SCALE_1 / 2 && total < SCALE_1 * 2,
+            "total {total} vs scale {SCALE_1}"
+        );
+    }
+
+    #[test]
+    fn hubs_rank_higher() {
+        let g = Geometry::with_total_ranks(1);
+        let mut app = PageRank::new(&g, Scale::Tiny, 5);
+        run_serial(&mut app, None);
+        // Find the max in-degree vertex.
+        let n = app.graph.vertices();
+        let mut indeg = vec![0u32; n];
+        for v in 0..n as u32 {
+            for &u in app.graph.neighbors(v) {
+                indeg[u as usize] += 1;
+            }
+        }
+        let hub = (0..n).max_by_key(|&v| indeg[v]).unwrap();
+        let avg = app.rank.iter().sum::<u64>() / n as u64;
+        assert!(
+            app.rank[hub] > 2 * avg,
+            "hub rank {} vs avg {avg}",
+            app.rank[hub]
+        );
+    }
+
+    #[test]
+    fn result_is_schedule_independent() {
+        let g = Geometry::with_total_ranks(1);
+        let mut a = PageRank::new(&g, Scale::Tiny, 5);
+        run_serial(&mut a, None);
+        let mut b = PageRank::new(&g, Scale::Tiny, 5);
+        run_serial(&mut b, Some(123));
+        assert_eq!(a.checksum(), b.checksum());
+    }
+}

@@ -1,0 +1,174 @@
+//! Single-source shortest paths (`sssp`), Bellman-Ford-style waves.
+//!
+//! A task carries a tentative distance; if it improves the vertex's
+//! best distance, relaxations propagate to the neighbors in the next
+//! epoch. Redundant relaxations cost time but never change the final
+//! distances, so the result is schedule-independent.
+
+use ndpb_dram::Geometry;
+use ndpb_tasks::{Application, ExecCtx, Task, TaskArgs, TaskFnId, Timestamp};
+
+use crate::apps::Sizes;
+use crate::{Graph, Layout, Scale};
+
+/// Cycles of fixed per-task work.
+const BASE_CYCLES: u64 = 24;
+/// Cycles per relaxed edge.
+const CYCLES_PER_EDGE: u64 = 6;
+/// Vertex record bytes (distance + bookkeeping).
+const VERTEX_BYTES: u32 = 16;
+
+/// Deterministic edge weight in `1..=8`.
+fn weight(s: u32, t: u32) -> u64 {
+    let x = ((s as u64) << 32 | t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (x >> 61) + 1
+}
+
+/// The `sssp` workload.
+#[derive(Debug)]
+pub struct Sssp {
+    graph: Graph,
+    layout: Layout,
+    dist: Vec<u64>,
+    source: u32,
+}
+
+impl Sssp {
+    /// Builds an R-MAT graph rooted at its max-degree vertex.
+    pub fn new(geometry: &Geometry, scale: Scale, seed: u64) -> Self {
+        let s = Sizes::of(scale);
+        let n = 1usize << s.graph_scale;
+        // Slightly smaller than bfs: sssp re-relaxes.
+        let graph = Graph::rmat_with_locality(s.graph_scale, n * s.edge_factor / 2, 0.4, seed);
+        let source = (0..n as u32)
+            .max_by_key(|&v| graph.degree(v))
+            .expect("non-empty graph");
+        Sssp {
+            layout: Layout::new(geometry, n as u64, 64),
+            dist: vec![u64::MAX; n],
+            graph,
+            source,
+        }
+    }
+
+    /// The distance array (for validation).
+    pub fn distances(&self) -> &[u64] {
+        &self.dist
+    }
+}
+
+impl Application for Sssp {
+    fn name(&self) -> &str {
+        "sssp"
+    }
+
+    fn initial_tasks(&mut self) -> Vec<Task> {
+        vec![Task::new(
+            TaskFnId(0),
+            Timestamp(0),
+            self.layout.addr_of(self.source as u64),
+            BASE_CYCLES as u32,
+            TaskArgs::two(self.source as u64, 0),
+        )]
+    }
+
+    fn execute(&mut self, task: &Task, ctx: &mut ExecCtx) {
+        let v = task.args.get(0) as u32;
+        let d = task.args.get(1);
+        ctx.compute(BASE_CYCLES);
+        ctx.read(task.data, VERTEX_BYTES);
+        if d >= self.dist[v as usize] {
+            return; // stale relaxation
+        }
+        self.dist[v as usize] = d;
+        ctx.write(task.data, 8);
+        let deg = self.graph.degree(v) as u64;
+        ctx.compute(deg * CYCLES_PER_EDGE);
+        ctx.read(task.data, (deg as u32 * 8).min(4096));
+        for &u in self.graph.neighbors(v) {
+            let nd = d + weight(v, u);
+            if nd >= self.dist[u as usize] {
+                continue; // provably useless relaxation
+            }
+            ctx.enqueue_task(
+                TaskFnId(0),
+                task.ts.next(),
+                self.layout.addr_of(u as u64),
+                (BASE_CYCLES + self.graph.degree(u) as u64 * CYCLES_PER_EDGE) as u32,
+                TaskArgs::two(u as u64, nd),
+            );
+        }
+    }
+
+    fn checksum(&self) -> u64 {
+        self.dist
+            .iter()
+            .filter(|&&d| d != u64::MAX)
+            .fold(0u64, |a, &d| a.wrapping_add(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndpb_dram::UnitId;
+    use ndpb_sim::SimRng;
+
+    fn run_serial(app: &mut Sssp, shuffle_seed: Option<u64>) {
+        let mut current = app.initial_tasks();
+        let mut next: Vec<Task> = Vec::new();
+        let mut rng = shuffle_seed.map(SimRng::new);
+        while !current.is_empty() {
+            if let Some(r) = rng.as_mut() {
+                r.shuffle(&mut current);
+            }
+            for t in current.drain(..) {
+                let mut ctx = ExecCtx::new(UnitId(0));
+                app.execute(&t, &mut ctx);
+                next.extend(ctx.into_spawned());
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+    }
+
+    #[test]
+    fn source_distance_zero_and_triangle_inequality() {
+        let g = Geometry::with_total_ranks(1);
+        let mut app = Sssp::new(&g, Scale::Tiny, 4);
+        run_serial(&mut app, None);
+        assert_eq!(app.dist[app.source as usize], 0);
+        for v in 0..app.graph.vertices() as u32 {
+            let dv = app.dist[v as usize];
+            if dv == u64::MAX {
+                continue;
+            }
+            for &u in app.graph.neighbors(v) {
+                assert!(
+                    app.dist[u as usize] <= dv + weight(v, u),
+                    "edge ({v},{u}) not relaxed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_schedule_independent() {
+        let g = Geometry::with_total_ranks(1);
+        let mut a = Sssp::new(&g, Scale::Tiny, 4);
+        run_serial(&mut a, None);
+        let mut b = Sssp::new(&g, Scale::Tiny, 4);
+        run_serial(&mut b, Some(99)); // different intra-epoch order
+        assert_eq!(a.checksum(), b.checksum());
+        assert_eq!(a.distances(), b.distances());
+    }
+
+    #[test]
+    fn weights_in_range() {
+        for s in 0..100u32 {
+            for t in 0..10u32 {
+                let w = weight(s, t);
+                assert!((1..=8).contains(&w));
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! 2-D stencil smoothing (`stencil`) — the paper's Section IV example
+//! of supporting tasks that *read* multiple data elements in a pure
+//! push model: "(1) each pixel pushes its current value (by invoking
+//! tasks) to all its neighbors; (2) each pixel uses the received
+//! values to update its own value."
+//!
+//! Not part of the paper's evaluated eight; included as a programming-
+//! model demonstration and as a low-skew control workload (a uniform
+//! grid has neither degree skew nor query skew, so load balancing
+//! should find little to do).
+
+use ndpb_dram::Geometry;
+use ndpb_tasks::{Application, ExecCtx, Task, TaskArgs, TaskFnId, Timestamp};
+
+use crate::apps::Sizes;
+use crate::{Layout, Scale};
+
+/// Cycles for a pixel's push step.
+const PUSH_CYCLES: u64 = 16;
+/// Cycles to accumulate one received value.
+const ACC_CYCLES: u64 = 6;
+/// Fixed-point scale for pixel values.
+const SCALE_1: u64 = 1 << 16;
+
+const FN_PUSH: TaskFnId = TaskFnId(0);
+const FN_RECV: TaskFnId = TaskFnId(1);
+
+/// The `stencil` workload: a `side × side` grid smoothed for
+/// `iterations` rounds with a 4-point (von Neumann) stencil.
+#[derive(Debug)]
+pub struct Stencil {
+    layout: Layout,
+    side: usize,
+    value: Vec<u64>,
+    acc: Vec<u64>,
+    acc_count: Vec<u32>,
+    iterations: u32,
+}
+
+impl Stencil {
+    /// Builds the grid with a deterministic initial pattern.
+    pub fn new(geometry: &Geometry, scale: Scale, seed: u64) -> Self {
+        let s = Sizes::of(scale);
+        // Grid sized like the pr graphs.
+        let side = 1usize << (s.pr_scale / 2 + 2);
+        let n = side * side;
+        let value: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(seed | 1).wrapping_mul(0x9E37_79B9)) % SCALE_1)
+            .collect();
+        Stencil {
+            layout: Layout::new(geometry, n as u64, 16),
+            side,
+            value,
+            acc: vec![0; n],
+            acc_count: vec![0; n],
+            iterations: s.pr_iters,
+        }
+    }
+
+    /// Grid side length.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    fn neighbors(&self, p: usize) -> impl Iterator<Item = usize> + '_ {
+        let side = self.side;
+        let (x, y) = (p % side, p / side);
+        [
+            (x > 0).then(|| p - 1),
+            (x + 1 < side).then(|| p + 1),
+            (y > 0).then(|| p - side),
+            (y + 1 < side).then(|| p + side),
+        ]
+        .into_iter()
+        .flatten()
+    }
+}
+
+impl Application for Stencil {
+    fn name(&self) -> &str {
+        "stencil"
+    }
+
+    fn initial_tasks(&mut self) -> Vec<Task> {
+        (0..(self.side * self.side) as u64)
+            .map(|p| {
+                Task::new(
+                    FN_PUSH,
+                    Timestamp(0),
+                    self.layout.addr_of(p),
+                    (PUSH_CYCLES + 4 * ACC_CYCLES) as u32,
+                    TaskArgs::one(p),
+                )
+            })
+            .collect()
+    }
+
+    fn execute(&mut self, task: &Task, ctx: &mut ExecCtx) {
+        match task.func {
+            FN_PUSH => {
+                let p = task.args.get(0) as usize;
+                let iter = task.ts.0 / 2;
+                ctx.compute(PUSH_CYCLES);
+                ctx.read(task.data, 8);
+                if iter > 0 {
+                    // Apply the previous round's accumulation first.
+                    if self.acc_count[p] > 0 {
+                        self.value[p] = self.acc[p] / self.acc_count[p] as u64;
+                        self.acc[p] = 0;
+                        self.acc_count[p] = 0;
+                        ctx.write(task.data, 8);
+                    }
+                }
+                let val = self.value[p];
+                let neighbors: Vec<usize> = self.neighbors(p).collect();
+                for &q in &neighbors {
+                    ctx.enqueue_task(
+                        FN_RECV,
+                        task.ts.next(),
+                        self.layout.addr_of(q as u64),
+                        ACC_CYCLES as u32,
+                        TaskArgs::two(q as u64, val),
+                    );
+                }
+                if iter + 1 <= self.iterations {
+                    ctx.enqueue_task(
+                        FN_PUSH,
+                        Timestamp(task.ts.0 + 2),
+                        task.data,
+                        (PUSH_CYCLES + 4 * ACC_CYCLES) as u32,
+                        TaskArgs::one(p as u64),
+                    );
+                }
+            }
+            _ => {
+                let q = task.args.get(0) as usize;
+                ctx.compute(ACC_CYCLES);
+                ctx.read(task.data, 8);
+                ctx.write(task.data, 8);
+                self.acc[q] += task.args.get(1);
+                self.acc_count[q] += 1;
+            }
+        }
+    }
+
+    fn checksum(&self) -> u64 {
+        self.value.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndpb_dram::UnitId;
+    use ndpb_sim::SimRng;
+    use std::collections::BTreeMap;
+
+    fn run_serial(app: &mut Stencil, shuffle: Option<u64>) {
+        let mut by_ts: BTreeMap<u32, Vec<Task>> = BTreeMap::new();
+        for t in app.initial_tasks() {
+            by_ts.entry(t.ts.0).or_default().push(t);
+        }
+        let mut rng = shuffle.map(SimRng::new);
+        while let Some((&ts, _)) = by_ts.iter().next() {
+            let mut tasks = by_ts.remove(&ts).expect("exists");
+            if let Some(r) = rng.as_mut() {
+                r.shuffle(&mut tasks);
+            }
+            for t in tasks {
+                let mut ctx = ExecCtx::new(UnitId(0));
+                app.execute(&t, &mut ctx);
+                for c in ctx.into_spawned() {
+                    by_ts.entry(c.ts.0).or_default().push(c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smoothing_contracts_the_range() {
+        let g = Geometry::with_total_ranks(1);
+        let mut app = Stencil::new(&g, Scale::Tiny, 3);
+        let before_spread = {
+            let max = *app.value.iter().max().unwrap();
+            let min = *app.value.iter().min().unwrap();
+            max - min
+        };
+        run_serial(&mut app, None);
+        let after_spread = {
+            // Interior pixels only (edges have fewer neighbors).
+            let side = app.side();
+            let interior: Vec<u64> = (0..app.value.len())
+                .filter(|&p| {
+                    let (x, y) = (p % side, p / side);
+                    x > 0 && y > 0 && x + 1 < side && y + 1 < side
+                })
+                .map(|p| app.value[p])
+                .collect();
+            let max = *interior.iter().max().unwrap();
+            let min = *interior.iter().min().unwrap();
+            max - min
+        };
+        assert!(
+            after_spread < before_spread,
+            "smoothing must contract the value range: {after_spread} vs {before_spread}"
+        );
+    }
+
+    #[test]
+    fn result_is_schedule_independent() {
+        let g = Geometry::with_total_ranks(1);
+        let mut a = Stencil::new(&g, Scale::Tiny, 3);
+        run_serial(&mut a, None);
+        let mut b = Stencil::new(&g, Scale::Tiny, 3);
+        run_serial(&mut b, Some(42));
+        assert_eq!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn corner_pixels_have_two_neighbors() {
+        let g = Geometry::with_total_ranks(1);
+        let app = Stencil::new(&g, Scale::Tiny, 3);
+        assert_eq!(app.neighbors(0).count(), 2);
+        let side = app.side();
+        assert_eq!(app.neighbors(side + 1).count(), 4);
+    }
+}

@@ -1,0 +1,198 @@
+//! Weakly connected components (`wcc`) via min-label propagation.
+//!
+//! Every vertex starts labelled with its own id and pushes its label to
+//! its neighbors; a vertex adopting a smaller label propagates it
+//! further. Min-propagation is confluent: the final labels do not
+//! depend on scheduling.
+
+use ndpb_dram::Geometry;
+use ndpb_tasks::{Application, ExecCtx, Task, TaskArgs, TaskFnId, Timestamp};
+
+use crate::apps::Sizes;
+use crate::{Graph, Layout, Scale};
+
+/// Cycles of fixed per-task work.
+const BASE_CYCLES: u64 = 18;
+/// Cycles per pushed label.
+const CYCLES_PER_EDGE: u64 = 4;
+
+/// Seed-push function (epoch 0).
+const FN_SEED: TaskFnId = TaskFnId(0);
+/// Label-update function.
+const FN_LABEL: TaskFnId = TaskFnId(1);
+
+/// The `wcc` workload. The graph is symmetrized so components are
+/// well-defined.
+#[derive(Debug)]
+pub struct Wcc {
+    graph: Graph,
+    layout: Layout,
+    label: Vec<u32>,
+}
+
+impl Wcc {
+    /// Builds a symmetrized R-MAT graph.
+    pub fn new(geometry: &Geometry, scale: Scale, seed: u64) -> Self {
+        let s = Sizes::of(scale);
+        let n = 1usize << s.graph_scale;
+        let directed = Graph::rmat_with_locality(s.graph_scale, n * s.edge_factor / 2, 0.4, seed);
+        // Symmetrize.
+        let mut edges = Vec::with_capacity(directed.edges() * 2);
+        for v in 0..n as u32 {
+            for &u in directed.neighbors(v) {
+                edges.push((v, u));
+                edges.push((u, v));
+            }
+        }
+        let graph = Graph::from_edges(n, &edges);
+        Wcc {
+            layout: Layout::new(geometry, n as u64, 64),
+            label: (0..n as u32).collect(),
+            graph,
+        }
+    }
+
+    /// Final component labels.
+    pub fn labels(&self) -> &[u32] {
+        &self.label
+    }
+
+    /// Number of distinct components among the labelled vertices.
+    pub fn components(&self) -> usize {
+        let mut l: Vec<u32> = self.label.clone();
+        l.sort_unstable();
+        l.dedup();
+        l.len()
+    }
+}
+
+impl Application for Wcc {
+    fn name(&self) -> &str {
+        "wcc"
+    }
+
+    fn initial_tasks(&mut self) -> Vec<Task> {
+        (0..self.graph.vertices() as u64)
+            .map(|v| {
+                Task::new(
+                    FN_SEED,
+                    Timestamp(0),
+                    self.layout.addr_of(v),
+                    (BASE_CYCLES
+                        + self.graph.degree(v as u32) as u64 * CYCLES_PER_EDGE)
+                        as u32,
+                    TaskArgs::one(v),
+                )
+            })
+            .collect()
+    }
+
+    fn execute(&mut self, task: &Task, ctx: &mut ExecCtx) {
+        let v = task.args.get(0) as u32;
+        ctx.compute(BASE_CYCLES);
+        ctx.read(task.data, 8);
+        let push_label = match task.func {
+            FN_SEED => Some(self.label[v as usize]),
+            _ => {
+                let candidate = task.args.get(1) as u32;
+                if candidate < self.label[v as usize] {
+                    self.label[v as usize] = candidate;
+                    ctx.write(task.data, 8);
+                    Some(candidate)
+                } else {
+                    None
+                }
+            }
+        };
+        let Some(lab) = push_label else {
+            return;
+        };
+        let deg = self.graph.degree(v) as u64;
+        ctx.compute(deg * CYCLES_PER_EDGE);
+        ctx.read(task.data, (deg as u32 * 4).min(4096));
+        for &u in self.graph.neighbors(v) {
+            if self.label[u as usize] <= lab {
+                continue; // provably useless push
+            }
+            ctx.enqueue_task(
+                FN_LABEL,
+                task.ts.next(),
+                self.layout.addr_of(u as u64),
+                (BASE_CYCLES + self.graph.degree(u) as u64 * CYCLES_PER_EDGE) as u32,
+                TaskArgs::two(u as u64, lab as u64),
+            );
+        }
+    }
+
+    fn checksum(&self) -> u64 {
+        self.label.iter().fold(0u64, |a, &l| a.wrapping_add(l as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndpb_dram::UnitId;
+    use ndpb_sim::SimRng;
+
+    fn run_serial(app: &mut Wcc, shuffle: Option<u64>) {
+        let mut current = app.initial_tasks();
+        let mut next: Vec<Task> = Vec::new();
+        let mut rng = shuffle.map(SimRng::new);
+        while !current.is_empty() {
+            if let Some(r) = rng.as_mut() {
+                r.shuffle(&mut current);
+            }
+            for t in current.drain(..) {
+                let mut ctx = ExecCtx::new(UnitId(0));
+                app.execute(&t, &mut ctx);
+                next.extend(ctx.into_spawned());
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        let g = Geometry::with_total_ranks(1);
+        let mut app = Wcc::new(&g, Scale::Tiny, 6);
+        run_serial(&mut app, None);
+        // Every edge must connect equal labels after convergence.
+        for v in 0..app.graph.vertices() as u32 {
+            for &u in app.graph.neighbors(v) {
+                assert_eq!(
+                    app.label[v as usize], app.label[u as usize],
+                    "edge ({v},{u}) spans labels"
+                );
+            }
+        }
+        // A label is the minimum vertex of its component.
+        for v in 0..app.graph.vertices() as u32 {
+            assert!(app.label[v as usize] <= v);
+        }
+    }
+
+    #[test]
+    fn giant_component_emerges() {
+        let g = Geometry::with_total_ranks(1);
+        let mut app = Wcc::new(&g, Scale::Tiny, 6);
+        let n = app.graph.vertices();
+        run_serial(&mut app, None);
+        assert!(
+            app.components() < n / 2,
+            "{} components of {n} vertices",
+            app.components()
+        );
+    }
+
+    #[test]
+    fn result_is_schedule_independent() {
+        let g = Geometry::with_total_ranks(1);
+        let mut a = Wcc::new(&g, Scale::Tiny, 6);
+        run_serial(&mut a, None);
+        let mut b = Wcc::new(&g, Scale::Tiny, 6);
+        run_serial(&mut b, Some(777));
+        assert_eq!(a.checksum(), b.checksum());
+        assert_eq!(a.labels(), b.labels());
+    }
+}

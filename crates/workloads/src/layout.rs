@@ -1,0 +1,126 @@
+//! Data layout: mapping application elements onto the NDP data space.
+//!
+//! The paper assumes UPMEM-style coarse interleaving: each unit's
+//! elements are contiguous in its local bank (Section II-B). A
+//! [`Layout`] distributes `count` fixed-size elements across all units
+//! and converts element ids to [`DataAddr`]s and back.
+
+use ndpb_dram::{DataAddr, Geometry, UnitId};
+
+/// Maps element ids to addresses and owning units.
+///
+/// # Example
+///
+/// ```
+/// use ndpb_workloads::Layout;
+/// use ndpb_dram::Geometry;
+/// let g = Geometry::table1();
+/// let l = Layout::new(&g, 1024, 64);
+/// let a = l.addr_of(3);
+/// assert_eq!(l.element_of(a), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Layout {
+    units: u64,
+    per_unit: u64,
+    elem_bytes: u64,
+    bank_bytes: u64,
+}
+
+impl Layout {
+    /// Distributes `count` elements of `elem_bytes` each, block-
+    /// partitioned: unit 0 gets elements `0..per_unit`, unit 1 the
+    /// next range, and so on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the elements do not fit in the banks, or if
+    /// `elem_bytes` is zero or `count` is zero.
+    pub fn new(geometry: &Geometry, count: u64, elem_bytes: u64) -> Self {
+        assert!(count > 0 && elem_bytes > 0);
+        let units = geometry.total_units() as u64;
+        let per_unit = count.div_ceil(units);
+        assert!(
+            per_unit * elem_bytes <= geometry.bank_bytes / 2,
+            "elements must leave room for mailbox/borrow regions"
+        );
+        Layout {
+            units,
+            per_unit,
+            elem_bytes,
+            bank_bytes: geometry.bank_bytes,
+        }
+    }
+
+    /// Number of elements stored per unit (last unit may be padded).
+    pub fn per_unit(&self) -> u64 {
+        self.per_unit
+    }
+
+    /// The unit owning element `e`.
+    pub fn unit_of(&self, e: u64) -> UnitId {
+        UnitId(((e / self.per_unit) % self.units) as u32)
+    }
+
+    /// The address of element `e`.
+    pub fn addr_of(&self, e: u64) -> DataAddr {
+        let unit = (e / self.per_unit) % self.units;
+        let slot = e % self.per_unit;
+        DataAddr(unit * self.bank_bytes + slot * self.elem_bytes)
+    }
+
+    /// Inverse of [`Layout::addr_of`].
+    pub fn element_of(&self, addr: DataAddr) -> u64 {
+        let unit = addr.0 / self.bank_bytes;
+        let slot = (addr.0 % self.bank_bytes) / self.elem_bytes;
+        unit * self.per_unit + slot
+    }
+
+    /// Element size in bytes.
+    pub fn elem_bytes(&self) -> u64 {
+        self.elem_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let g = Geometry::table1();
+        let l = Layout::new(&g, 100_000, 32);
+        for e in [0u64, 1, 999, 50_000, 99_999] {
+            assert_eq!(l.element_of(l.addr_of(e)), e);
+        }
+    }
+
+    #[test]
+    fn contiguous_per_unit() {
+        let g = Geometry::table1();
+        let l = Layout::new(&g, 512 * 10, 64);
+        assert_eq!(l.per_unit(), 10);
+        // Elements 0..10 on unit 0, 10..20 on unit 1.
+        assert_eq!(l.unit_of(9), UnitId(0));
+        assert_eq!(l.unit_of(10), UnitId(1));
+        // Consecutive elements of one unit are adjacent in the bank.
+        assert_eq!(l.addr_of(1).0 - l.addr_of(0).0, 64);
+    }
+
+    #[test]
+    fn small_counts_still_work() {
+        let g = Geometry::table1();
+        let l = Layout::new(&g, 3, 64);
+        assert_eq!(l.per_unit(), 1);
+        assert_eq!(l.unit_of(0), UnitId(0));
+        assert_eq!(l.unit_of(2), UnitId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must leave room")]
+    fn oversize_panics() {
+        let g = Geometry::table1();
+        // 64 MB banks; ask for 64 MB of elements per unit.
+        Layout::new(&g, 512 * 1024 * 1024, 64);
+    }
+}

@@ -1,0 +1,152 @@
+//! Synthetic sparse matrices (CSR) for `spmv`.
+//!
+//! SuiteSparse matrices are unavailable offline; we generate power-law
+//! row-length matrices, preserving the nnz skew that causes the load
+//! imbalance `spmv` exhibits in the paper.
+
+use ndpb_sim::SimRng;
+
+use crate::zipf::Zipfian;
+
+/// A sparse matrix in CSR form (pattern only; values are implicit 1s —
+/// the simulator models traffic and compute, not numerics).
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u64>,
+    col_idx: Vec<u32>,
+}
+
+impl SparseMatrix {
+    /// Generates a `rows × cols` matrix with ~`nnz` nonzeros whose row
+    /// lengths follow a Zipfian distribution with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn power_law(rows: usize, cols: usize, nnz: usize, theta: f64, seed: u64) -> Self {
+        Self::power_law_capped(rows, cols, nnz, theta, u64::MAX, seed)
+    }
+
+    /// Like [`SparseMatrix::power_law`], but clamps every row at `cap`
+    /// nonzeros (mimicking real matrices, whose longest rows are large
+    /// but bounded; an uncapped Zipf head would serialize the whole
+    /// SpMV behind one row-task).
+    pub fn power_law_capped(
+        rows: usize,
+        cols: usize,
+        nnz: usize,
+        theta: f64,
+        cap: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix must be non-empty");
+        assert!(cap > 0, "row cap must be positive");
+        let mut rng = SimRng::new(seed);
+        let zip = Zipfian::new(rows as u64, theta);
+        // Distribute nnz across rows by Zipf sampling row ids; samples
+        // landing on a full row spill to the next row.
+        let mut counts = vec![0u64; rows];
+        for _ in 0..nnz {
+            let mut r = zip.sample(&mut rng) as usize;
+            let mut tries = 0;
+            while counts[r] >= cap && tries < rows {
+                r = (r + 1) % rows;
+                tries += 1;
+            }
+            counts[r] += 1;
+        }
+        let mut row_ptr = vec![0u64; rows + 1];
+        for r in 0..rows {
+            row_ptr[r + 1] = row_ptr[r] + counts[r];
+        }
+        let total = row_ptr[rows] as usize;
+        let mut col_idx = Vec::with_capacity(total);
+        for r in 0..rows {
+            for _ in 0..counts[r] {
+                col_idx.push(rng.next_below(cols as u64) as u32);
+            }
+        }
+        SparseMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Nonzeros in row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        (self.row_ptr[r + 1] - self.row_ptr[r]) as usize
+    }
+
+    /// Column indices of row `r`.
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize]
+    }
+
+    /// Longest row (skew diagnostic).
+    pub fn max_row_nnz(&self) -> usize {
+        (0..self.rows).map(|r| self.row_nnz(r)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_nnz() {
+        let m = SparseMatrix::power_law(100, 50, 1000, 0.8, 1);
+        assert_eq!(m.rows(), 100);
+        assert_eq!(m.cols(), 50);
+        assert_eq!(m.nnz(), 1000);
+        let sum: usize = (0..100).map(|r| m.row_nnz(r)).sum();
+        assert_eq!(sum, 1000);
+    }
+
+    #[test]
+    fn skewed_rows() {
+        let m = SparseMatrix::power_law(1000, 1000, 50_000, 0.9, 2);
+        let avg = m.nnz() / m.rows();
+        assert!(
+            m.max_row_nnz() > 10 * avg,
+            "max {} vs avg {avg}",
+            m.max_row_nnz()
+        );
+    }
+
+    #[test]
+    fn col_indices_in_range() {
+        let m = SparseMatrix::power_law(50, 30, 500, 0.5, 3);
+        for r in 0..50 {
+            for &c in m.row_cols(r) {
+                assert!((c as usize) < 30);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SparseMatrix::power_law(64, 64, 512, 0.7, 9);
+        let b = SparseMatrix::power_law(64, 64, 512, 0.7, 9);
+        assert_eq!(a.col_idx, b.col_idx);
+        assert_eq!(a.row_ptr, b.row_ptr);
+    }
+}

@@ -1,0 +1,69 @@
+//! Design-space exploration: run every application on every design
+//! point (including ablations) and print a speedup matrix — a compact
+//! version of the paper's Figures 10 and 14a.
+//!
+//! ```text
+//! cargo run --release --example design_space [tiny|small|full]
+//! ```
+
+use ndpbridge::core::config::SystemConfig;
+use ndpbridge::core::design::DesignPoint;
+use ndpbridge::core::result::geomean;
+use ndpbridge::core::System;
+use ndpbridge::workloads::{build_app, Scale, APP_NAMES};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        _ => Scale::Tiny,
+    };
+    let designs = [
+        DesignPoint::C,
+        DesignPoint::B,
+        DesignPoint::W,
+        DesignPoint::WAdv,
+        DesignPoint::WFine,
+        DesignPoint::WHot,
+        DesignPoint::O,
+        DesignPoint::R,
+    ];
+
+    print!("{:<8}", "app");
+    for d in designs {
+        print!("{:>9}", d.to_string());
+    }
+    println!("   (speedup over C)");
+
+    let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); designs.len()];
+    for app_name in APP_NAMES {
+        // Run all designs for one app in parallel threads.
+        let results: Vec<_> = std::thread::scope(|s| {
+            designs
+                .iter()
+                .map(|&d| {
+                    s.spawn(move || {
+                        let cfg = SystemConfig::table1();
+                        let app = build_app(app_name, &cfg.geometry, scale, cfg.seed);
+                        System::new(cfg, d, app).run()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("simulation panicked"))
+                .collect()
+        });
+        print!("{app_name:<8}");
+        for (j, r) in results.iter().enumerate() {
+            let s = r.speedup_over(&results[0]);
+            per_design[j].push(s);
+            print!("{s:>8.2}x");
+        }
+        println!();
+    }
+    print!("{:<8}", "geomean");
+    for col in &per_design {
+        print!("{:>8.2}x", geomean(col));
+    }
+    println!();
+}

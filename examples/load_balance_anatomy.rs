@@ -1,0 +1,99 @@
+//! Anatomy of a load-balancing run: compare B (no balancing) and O
+//! (data-transfer-aware balancing) on one skewed workload and show what
+//! the balancer actually did — migrations, re-routes, traffic, and the
+//! resulting max-vs-average execution-time gap the paper's Figure 2
+//! highlights.
+//!
+//! ```text
+//! cargo run --release --example load_balance_anatomy [app]
+//! ```
+
+use ndpbridge::core::config::SystemConfig;
+use ndpbridge::core::design::DesignPoint;
+use ndpbridge::core::{RunResult, System};
+use ndpbridge::workloads::{build_app, Scale};
+
+fn bar(frac: f64, width: usize) -> String {
+    let n = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(n), ".".repeat(width - n))
+}
+
+fn describe(r: &RunResult) {
+    println!("design {}:", r.design);
+    println!(
+        "  total time (slowest unit) : {:>10.1} us  {}",
+        r.makespan.as_ns() / 1000.0,
+        bar(1.0, 40)
+    );
+    println!(
+        "  average unit exec time    : {:>10.1} us  {}",
+        r.avg_unit_time.as_ns() / 1000.0,
+        bar(r.balance, 40)
+    );
+    println!(
+        "  balance (avg/max)         : {:>10.1} %",
+        r.balance * 100.0
+    );
+    println!(
+        "  wait share of total       : {:>10.1} %",
+        r.wait_fraction * 100.0
+    );
+    println!("  tasks executed            : {:>10}", r.tasks_executed);
+    println!("  messages delivered        : {:>10}", r.messages_delivered);
+    println!("  blocks migrated           : {:>10}", r.blocks_migrated);
+    println!("  tasks re-routed           : {:>10}", r.tasks_rerouted);
+    println!("  LB rounds                 : {:>10}", r.lb_rounds);
+    println!(
+        "  intra-rank traffic        : {:>10} KB",
+        r.rank_bus_bytes / 1024
+    );
+    println!(
+        "  channel traffic           : {:>10} KB",
+        r.channel_bytes / 1024
+    );
+    println!(
+        "  energy                    : {:>10.1} uJ",
+        r.energy.total_pj() / 1e6
+    );
+    println!(
+        "  busy-time Gini            : {:>10.3}",
+        r.busy_gini()
+    );
+    let h = r.busy_histogram();
+    println!("  units by busy fraction (0-100% of total time):");
+    for (i, &n) in h.iter().enumerate() {
+        println!(
+            "    {:>3}-{:>3}% |{}",
+            i * 10,
+            (i + 1) * 10,
+            "#".repeat(((n as f64).sqrt() as usize).min(60))
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let app_name = std::env::args().nth(1).unwrap_or_else(|| "spmv".into());
+    println!("Load-balancing anatomy on {app_name:?} (Table I system, Small scale)\n");
+
+    let mut results = Vec::new();
+    for design in [DesignPoint::B, DesignPoint::O] {
+        let cfg = SystemConfig::table1();
+        let app = build_app(&app_name, &cfg.geometry, Scale::Small, cfg.seed);
+        let r = System::new(cfg, design, app).run();
+        describe(&r);
+        results.push(r);
+    }
+    let (b, o) = (&results[0], &results[1]);
+    assert_eq!(
+        b.checksum, o.checksum,
+        "load balancing must not change application results"
+    );
+    println!(
+        "O over B: {:.2}x speedup; balance {:.1}% -> {:.1}%; results identical (checksum {:#x})",
+        o.speedup_over(b),
+        b.balance * 100.0,
+        o.balance * 100.0,
+        o.checksum
+    );
+}

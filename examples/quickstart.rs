@@ -1,0 +1,68 @@
+//! Quickstart: simulate one application on the four Table II designs.
+//!
+//! ```text
+//! cargo run --release --example quickstart [app] [scale]
+//! ```
+//!
+//! `app` is one of `ll ht tree spmv bfs sssp pr wcc` (default `tree`),
+//! `scale` one of `tiny small full` (default `tiny`).
+
+use ndpbridge::core::config::SystemConfig;
+use ndpbridge::core::design::DesignPoint;
+use ndpbridge::core::hostonly::{HostOnly, HostOnlyConfig};
+use ndpbridge::core::System;
+use ndpbridge::workloads::{build_app, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app_name = args.get(1).map(String::as_str).unwrap_or("tree");
+    let scale = match args.get(2).map(String::as_str) {
+        Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        _ => Scale::Tiny,
+    };
+
+    println!("NDPBridge quickstart: app={app_name}, Table I system (512 units)");
+    println!();
+
+    let mut baseline = None;
+    for design in DesignPoint::table2() {
+        let cfg = SystemConfig::table1();
+        let app = build_app(app_name, &cfg.geometry, scale, cfg.seed);
+        let start = std::time::Instant::now();
+        let result = System::new(cfg, design, app).run();
+        let host = start.elapsed();
+        let speedup = match &baseline {
+            None => 1.0,
+            Some(b) => result.speedup_over(b),
+        };
+        if baseline.is_none() {
+            baseline = Some(result.clone());
+        }
+        println!(
+            "{}   speedup over C: {:.2}x   (simulated in {:.1?}, {} events)",
+            result.row(),
+            speedup,
+            host,
+            result.events
+        );
+        println!(
+            "    lb_rounds={} blocks_migrated={} rerouted={} msgs={} max_unit={:.1}us",
+            result.lb_rounds,
+            result.blocks_migrated,
+            result.tasks_rerouted,
+            result.messages_delivered,
+            result.max_unit_time.as_ns() / 1000.0
+        );
+    }
+
+    // The non-NDP host baseline for context (Figure 11's H).
+    let cfg = SystemConfig::table1();
+    let app = build_app(app_name, &cfg.geometry, scale, cfg.seed);
+    let h = HostOnly::new(cfg, HostOnlyConfig::paper(), app).run();
+    println!(
+        "{}   speedup over C: {:.2}x",
+        h.row(),
+        h.speedup_over(baseline.as_ref().expect("C ran first")),
+    );
+}

@@ -1,0 +1,98 @@
+//! Cross-crate integration: every application must produce identical
+//! results on every design point — communication paths and load
+//! balancing change *when and where* tasks run, never *what* they
+//! compute.
+
+use ndpbridge::core::config::SystemConfig;
+use ndpbridge::core::design::DesignPoint;
+use ndpbridge::core::hostonly::{HostOnly, HostOnlyConfig};
+use ndpbridge::core::System;
+use ndpbridge::dram::Geometry;
+use ndpbridge::workloads::{build_app, Scale, APP_NAMES};
+
+fn cfg() -> SystemConfig {
+    let mut c = SystemConfig::with_geometry(Geometry::with_total_ranks(2));
+    c.seed = 11;
+    c
+}
+
+fn run(app_name: &str, design: DesignPoint) -> ndpbridge::core::RunResult {
+    let c = cfg();
+    let app = build_app(app_name, &c.geometry, Scale::Tiny, c.seed);
+    System::new(c, design, app).run()
+}
+
+#[test]
+fn checksums_agree_across_designs() {
+    for app_name in APP_NAMES {
+        let reference = run(app_name, DesignPoint::C);
+        assert!(reference.tasks_executed > 0, "{app_name} did no work");
+        for design in [
+            DesignPoint::B,
+            DesignPoint::W,
+            DesignPoint::O,
+            DesignPoint::R,
+        ] {
+            let r = run(app_name, design);
+            assert_eq!(
+                r.checksum, reference.checksum,
+                "{app_name} result changed under {design}"
+            );
+        }
+    }
+}
+
+#[test]
+fn host_baseline_matches_ndp_results() {
+    for app_name in APP_NAMES {
+        let reference = run(app_name, DesignPoint::B);
+        let c = cfg();
+        let app = build_app(app_name, &c.geometry, Scale::Tiny, c.seed);
+        let h = HostOnly::new(c, HostOnlyConfig::paper(), app).run();
+        assert_eq!(
+            h.checksum, reference.checksum,
+            "{app_name} result differs between H and NDP"
+        );
+        assert!(h.tasks_executed > 0);
+    }
+}
+
+#[test]
+fn all_apps_complete_under_full_ndpbridge() {
+    for app_name in APP_NAMES {
+        let r = run(app_name, DesignPoint::O);
+        assert!(r.tasks_executed > 0, "{app_name}");
+        assert!(r.makespan.ticks() > 0, "{app_name}");
+        assert!(r.balance > 0.0 && r.balance <= 1.0, "{app_name}");
+        assert!(r.energy.total_pj() > 0.0, "{app_name}");
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for app_name in ["tree", "bfs"] {
+        let a = run(app_name, DesignPoint::O);
+        let b = run(app_name, DesignPoint::O);
+        assert_eq!(a.makespan, b.makespan, "{app_name}");
+        assert_eq!(a.events, b.events, "{app_name}");
+        assert_eq!(a.messages_delivered, b.messages_delivered, "{app_name}");
+        assert_eq!(a.blocks_migrated, b.blocks_migrated, "{app_name}");
+        assert_eq!(a.channel_bytes, b.channel_bytes, "{app_name}");
+    }
+}
+
+#[test]
+fn different_seeds_change_schedules_not_results() {
+    // Different seeds change the dataset too, so compare a fixed app
+    // dataset under two *system* seeds by reusing the same app seed.
+    let mk = |sys_seed: u64| {
+        let mut c = cfg();
+        c.seed = sys_seed;
+        let app = build_app("spmv", &c.geometry, Scale::Tiny, 11);
+        System::new(c, DesignPoint::O, app).run()
+    };
+    let a = mk(1);
+    let b = mk(2);
+    assert_eq!(a.checksum, b.checksum, "system seed must not alter results");
+    assert_eq!(a.tasks_executed, b.tasks_executed);
+}

@@ -1,0 +1,121 @@
+//! Integration: the system must work across the geometry variants the
+//! paper evaluates (Figures 12 and 15, split DIMM buffers), and the
+//! sweep knobs of Figure 16 must be runnable.
+
+use ndpbridge::core::config::{SystemConfig, TriggerPolicy};
+use ndpbridge::core::design::DesignPoint;
+use ndpbridge::core::System;
+use ndpbridge::dram::Geometry;
+use ndpbridge::sketch::SketchConfig;
+use ndpbridge::workloads::{build_app, Scale};
+
+fn run_with(cfg: SystemConfig, design: DesignPoint, app_name: &str) -> ndpbridge::core::RunResult {
+    let app = build_app(app_name, &cfg.geometry, Scale::Tiny, 13);
+    System::new(cfg, design, app).run()
+}
+
+#[test]
+fn scales_from_64_to_1024_units() {
+    for ranks in [1u32, 4, 16] {
+        let mut cfg = SystemConfig::with_geometry(Geometry::with_total_ranks(ranks));
+        cfg.seed = 13;
+        let r = run_with(cfg, DesignPoint::O, "spmv");
+        assert!(r.tasks_executed > 0, "{ranks} ranks");
+        // Dataset size scales with units, so checksums differ across
+        // geometries; within one geometry the run must be stable.
+        if ranks == 1 {
+            let again = {
+                let mut cfg = SystemConfig::with_geometry(Geometry::with_total_ranks(1));
+                cfg.seed = 13;
+                run_with(cfg, DesignPoint::O, "spmv")
+            };
+            assert_eq!(again.checksum, r.checksum);
+        }
+    }
+}
+
+#[test]
+fn dq_width_variants_run_and_keep_results() {
+    let mut sums = Vec::new();
+    for dq in [4u32, 8, 16] {
+        let mut cfg = SystemConfig::with_geometry(Geometry::with_dq_bits(dq));
+        cfg.seed = 13;
+        let r = run_with(cfg, DesignPoint::B, "tree");
+        assert!(r.tasks_executed > 0, "x{dq}");
+        sums.push((dq, r.makespan));
+    }
+    // Narrower chips mean slower unit<->bridge transfer per chip but
+    // more units; all variants must at least complete.
+    assert_eq!(sums.len(), 3);
+}
+
+#[test]
+fn split_dimm_buffer_is_slower_than_unified() {
+    let mk = |geom: Geometry| {
+        let mut cfg = SystemConfig::with_geometry(geom);
+        cfg.seed = 13;
+        run_with(cfg, DesignPoint::O, "tree")
+    };
+    let unified = mk(Geometry::table1());
+    let split = mk(Geometry::split_dimm_buffer());
+    assert_eq!(unified.checksum, split.checksum);
+    assert!(
+        split.makespan >= unified.makespan,
+        "losing DQ pins to C/A cannot speed things up: {} vs {}",
+        split.makespan,
+        unified.makespan
+    );
+}
+
+#[test]
+fn trigger_policies_complete_and_dynamic_wastes_least() {
+    let mut comm = Vec::new();
+    for pol in [
+        TriggerPolicy::Dynamic,
+        TriggerPolicy::FixedIMin,
+        TriggerPolicy::Fixed2IMin,
+    ] {
+        let mut cfg = SystemConfig::table1();
+        cfg.seed = 13;
+        cfg.trigger = pol;
+        let r = run_with(cfg, DesignPoint::B, "tree");
+        assert!(r.tasks_executed > 0);
+        comm.push((pol, r.comm_dram_bytes));
+    }
+    // Fixed I_min polls every bank every round: strictly more comm DRAM
+    // traffic than the dynamic trigger.
+    assert!(
+        comm[1].1 > comm[0].1,
+        "fixed I_min ({}) must out-traffic dynamic ({})",
+        comm[1].1,
+        comm[0].1
+    );
+}
+
+#[test]
+fn config_sweep_knobs_run() {
+    // G_xfer and metadata scale (Figure 16a).
+    for gx in [64u32, 1024] {
+        let mut cfg = SystemConfig::table1().scale_metadata(0.25);
+        cfg.g_xfer = gx;
+        cfg.seed = 13;
+        let r = run_with(cfg, DesignPoint::O, "spmv");
+        assert!(r.tasks_executed > 0, "G_xfer {gx}");
+    }
+    // Sketch geometry (Figure 16c/d).
+    for (b, e) in [(4, 16), (16, 4), (32, 32)] {
+        let mut cfg = SystemConfig::table1();
+        cfg.sketch = SketchConfig::with_geometry(b, e);
+        cfg.seed = 13;
+        let r = run_with(cfg, DesignPoint::O, "ll");
+        assert!(r.tasks_executed > 0, "sketch {b}x{e}");
+    }
+    // I_state (Figure 16b).
+    for i_state in [500u64, 8000] {
+        let mut cfg = SystemConfig::table1();
+        cfg.i_state_cycles = i_state;
+        cfg.seed = 13;
+        let r = run_with(cfg, DesignPoint::O, "ht");
+        assert!(r.tasks_executed > 0, "I_state {i_state}");
+    }
+}
