@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repository CI gate. Run from the workspace root:
+#
+#   ./ci.sh
+#
+# Everything here works fully offline (the workspace has no external
+# dependencies, dev-dependencies included).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "CI OK"

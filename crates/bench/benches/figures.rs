@@ -1,13 +1,16 @@
-//! Criterion benches regenerating each table/figure of the paper at
-//! reduced scale. Each bench measures one end-to-end simulation that
-//! produces the corresponding figure's data point(s); `cargo bench`
-//! therefore both exercises the full system and reports how fast the
-//! simulator itself runs.
+//! Benches regenerating each table/figure of the paper at reduced
+//! scale. Each case times one end-to-end simulation that produces the
+//! corresponding figure's data point(s); `cargo bench` therefore both
+//! exercises the full system and reports how fast the simulator itself
+//! runs.
+//!
+//! `harness = false` binary using the in-repo `Instant` timer
+//! (`ndpb_bench::timing`) so no external bench framework is needed.
 //!
 //! The *paper-scale* numbers come from the `repro` binary
 //! (`cargo run --release -p ndpb-bench --bin repro -- all --full`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ndpb_bench::timing::bench;
 use ndpb_bench::{run_host, run_one};
 use ndpb_core::config::{SystemConfig, TriggerPolicy};
 use ndpb_core::design::DesignPoint;
@@ -15,170 +18,102 @@ use ndpb_dram::Geometry;
 use ndpb_sketch::SketchConfig;
 use ndpb_workloads::Scale;
 
+const ITERS: u32 = 5;
+
 fn small_system() -> SystemConfig {
     let mut c = SystemConfig::with_geometry(Geometry::with_total_ranks(2));
     c.seed = 7;
     c
 }
 
-fn bench_fig2_tree_baseline(c: &mut Criterion) {
-    c.bench_function("fig2/tree_on_C", |b| {
-        b.iter(|| run_one("tree", DesignPoint::C, small_system(), Scale::Tiny))
+fn main() {
+    bench("fig2/tree_on_C", ITERS, || {
+        run_one("tree", DesignPoint::C, small_system(), Scale::Tiny)
     });
-}
 
-fn bench_fig10_designs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10");
     for design in DesignPoint::table2() {
-        g.bench_function(format!("tree_on_{design}"), |b| {
-            b.iter(|| run_one("tree", design, small_system(), Scale::Tiny))
+        bench(&format!("fig10/tree_on_{design}"), ITERS, || {
+            run_one("tree", design, small_system(), Scale::Tiny)
         });
-        g.bench_function(format!("spmv_on_{design}"), |b| {
-            b.iter(|| run_one("spmv", design, small_system(), Scale::Tiny))
+        bench(&format!("fig10/spmv_on_{design}"), ITERS, || {
+            run_one("spmv", design, small_system(), Scale::Tiny)
         });
     }
-    g.finish();
-}
 
-fn bench_fig11_h_and_r(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11");
-    g.bench_function("tree_on_H", |b| {
-        b.iter(|| run_host("tree", small_system(), Scale::Tiny))
+    bench("fig11/tree_on_H", ITERS, || {
+        run_host("tree", small_system(), Scale::Tiny)
     });
-    g.bench_function("tree_on_R", |b| {
-        b.iter(|| run_one("tree", DesignPoint::R, small_system(), Scale::Tiny))
+    bench("fig11/tree_on_R", ITERS, || {
+        run_one("tree", DesignPoint::R, small_system(), Scale::Tiny)
     });
-    g.finish();
-}
 
-fn bench_fig12_scalability(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12");
-    g.sample_size(10);
     for ranks in [1u32, 4] {
-        g.bench_function(format!("pr_O_{}_units", ranks * 64), |b| {
-            b.iter(|| {
-                let mut cfg = SystemConfig::with_geometry(Geometry::with_total_ranks(ranks));
-                cfg.seed = 7;
-                run_one("pr", DesignPoint::O, cfg, Scale::Tiny)
-            })
+        bench(&format!("fig12/pr_O_{}_units", ranks * 64), ITERS, || {
+            let mut cfg = SystemConfig::with_geometry(Geometry::with_total_ranks(ranks));
+            cfg.seed = 7;
+            run_one("pr", DesignPoint::O, cfg, Scale::Tiny)
         });
     }
-    g.finish();
-}
 
-fn bench_fig13_energy(c: &mut Criterion) {
     // Energy is computed by the same run; bench the accounting-heavy
     // design point end to end.
-    c.bench_function("fig13/wcc_on_O_energy", |b| {
-        b.iter(|| {
-            let r = run_one("wcc", DesignPoint::O, small_system(), Scale::Tiny);
-            assert!(r.energy.total_pj() > 0.0);
-            r
-        })
+    bench("fig13/wcc_on_O_energy", ITERS, || {
+        let r = run_one("wcc", DesignPoint::O, small_system(), Scale::Tiny);
+        assert!(r.energy.total_pj() > 0.0);
+        r
     });
-}
 
-fn bench_fig14a_ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig14a");
-    g.sample_size(10);
     for design in [DesignPoint::WAdv, DesignPoint::WFine, DesignPoint::WHot] {
-        g.bench_function(format!("spmv_on_{design}"), |b| {
-            b.iter(|| run_one("spmv", design, small_system(), Scale::Tiny))
+        bench(&format!("fig14a/spmv_on_{design}"), ITERS, || {
+            run_one("spmv", design, small_system(), Scale::Tiny)
         });
     }
-    g.finish();
-}
 
-fn bench_fig14b_triggers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig14b");
-    g.sample_size(10);
     for (name, pol) in [
         ("dynamic", TriggerPolicy::Dynamic),
         ("fixed_imin", TriggerPolicy::FixedIMin),
         ("fixed_2imin", TriggerPolicy::Fixed2IMin),
     ] {
-        g.bench_function(format!("tree_{name}"), |b| {
-            b.iter(|| {
-                let mut cfg = small_system();
-                cfg.trigger = pol;
-                run_one("tree", DesignPoint::O, cfg, Scale::Tiny)
-            })
+        bench(&format!("fig14b/tree_{name}"), ITERS, || {
+            let mut cfg = small_system();
+            cfg.trigger = pol;
+            run_one("tree", DesignPoint::O, cfg, Scale::Tiny)
         });
     }
-    g.finish();
-}
 
-fn bench_fig15_dq_widths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig15");
-    g.sample_size(10);
     for dq in [4u32, 8, 16] {
-        g.bench_function(format!("tree_O_x{dq}"), |b| {
-            b.iter(|| {
-                let mut cfg = SystemConfig::with_geometry(Geometry::with_dq_bits(dq));
-                cfg.seed = 7;
-                run_one("tree", DesignPoint::O, cfg, Scale::Tiny)
-            })
+        bench(&format!("fig15/tree_O_x{dq}"), ITERS, || {
+            let mut cfg = SystemConfig::with_geometry(Geometry::with_dq_bits(dq));
+            cfg.seed = 7;
+            run_one("tree", DesignPoint::O, cfg, Scale::Tiny)
         });
     }
-    g.finish();
-}
 
-fn bench_fig16_parameters(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig16");
-    g.sample_size(10);
     for gx in [64u32, 256, 1024] {
-        g.bench_function(format!("spmv_O_gxfer_{gx}"), |b| {
-            b.iter(|| {
-                let mut cfg = small_system();
-                cfg.g_xfer = gx;
-                run_one("spmv", DesignPoint::O, cfg, Scale::Tiny)
-            })
+        bench(&format!("fig16/spmv_O_gxfer_{gx}"), ITERS, || {
+            let mut cfg = small_system();
+            cfg.g_xfer = gx;
+            run_one("spmv", DesignPoint::O, cfg, Scale::Tiny)
         });
     }
     for i_state in [500u64, 2000, 8000] {
-        g.bench_function(format!("ll_O_istate_{i_state}"), |b| {
-            b.iter(|| {
-                let mut cfg = small_system();
-                cfg.i_state_cycles = i_state;
-                run_one("ll", DesignPoint::O, cfg, Scale::Tiny)
-            })
+        bench(&format!("fig16/ll_O_istate_{i_state}"), ITERS, || {
+            let mut cfg = small_system();
+            cfg.i_state_cycles = i_state;
+            run_one("ll", DesignPoint::O, cfg, Scale::Tiny)
         });
     }
     for (bk, en) in [(4usize, 16usize), (16, 16), (16, 4)] {
-        g.bench_function(format!("ll_O_sketch_{bk}x{en}"), |b| {
-            b.iter(|| {
-                let mut cfg = small_system();
-                cfg.sketch = SketchConfig::with_geometry(bk, en);
-                run_one("ll", DesignPoint::O, cfg, Scale::Tiny)
-            })
+        bench(&format!("fig16/ll_O_sketch_{bk}x{en}"), ITERS, || {
+            let mut cfg = small_system();
+            cfg.sketch = SketchConfig::with_geometry(bk, en);
+            run_one("ll", DesignPoint::O, cfg, Scale::Tiny)
         });
     }
-    g.finish();
-}
 
-fn bench_split_dimm(c: &mut Criterion) {
-    c.bench_function("splitdimm/tree_O", |b| {
-        b.iter(|| {
-            let mut cfg = SystemConfig::with_geometry(Geometry::split_dimm_buffer());
-            cfg.seed = 7;
-            run_one("tree", DesignPoint::O, cfg, Scale::Tiny)
-        })
+    bench("splitdimm/tree_O", ITERS, || {
+        let mut cfg = SystemConfig::with_geometry(Geometry::split_dimm_buffer());
+        cfg.seed = 7;
+        run_one("tree", DesignPoint::O, cfg, Scale::Tiny)
     });
 }
-
-criterion_group!(
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_fig2_tree_baseline,
-        bench_fig10_designs,
-        bench_fig11_h_and_r,
-        bench_fig12_scalability,
-        bench_fig13_energy,
-        bench_fig14a_ablations,
-        bench_fig14b_triggers,
-        bench_fig15_dq_widths,
-        bench_fig16_parameters,
-        bench_split_dimm
-);
-criterion_main!(figures);

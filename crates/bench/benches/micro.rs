@@ -1,8 +1,11 @@
 //! Microbenchmarks of the substrate data structures the system is
 //! built on: the event queue, RNG, Zipfian sampler, hot-data sketch,
 //! mailbox, bank timing model and graph generator.
+//!
+//! `harness = false` binary using the in-repo `Instant` timer
+//! (`ndpb_bench::timing`) so no external bench framework is needed.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ndpb_bench::timing::bench;
 use ndpb_dram::{BankModel, Bus, DataAddr, DramTiming};
 use ndpb_proto::{Mailbox, Message};
 use ndpb_sim::{EventQueue, SimRng, SimTime};
@@ -10,123 +13,80 @@ use ndpb_sketch::{HotSketch, SketchConfig};
 use ndpb_tasks::{Task, TaskArgs, TaskFnId, Timestamp};
 use ndpb_workloads::{Graph, Zipfian};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("micro/event_queue_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.schedule(SimTime::from_ticks((i * 7919) % 100_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum += e;
-            }
-            black_box(sum)
-        })
-    });
-}
+const ITERS: u32 = 20;
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("micro/simrng_1m", |b| {
-        let mut rng = SimRng::new(1);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..1_000_000 {
-                acc ^= rng.next_u64();
-            }
-            black_box(acc)
-        })
+fn main() {
+    bench("micro/event_queue_10k", ITERS, || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_ticks((i * 7919) % 100_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum += e;
+        }
+        sum
     });
-}
 
-fn bench_zipf(c: &mut Criterion) {
-    c.bench_function("micro/zipf_100k", |b| {
-        let z = Zipfian::new(1 << 20, 0.75);
-        let mut rng = SimRng::new(2);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..100_000 {
-                acc += z.sample(&mut rng);
-            }
-            black_box(acc)
-        })
+    let mut rng = SimRng::new(1);
+    bench("micro/simrng_1m", ITERS, || {
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
+            acc ^= rng.next_u64();
+        }
+        acc
     });
-}
 
-fn bench_sketch(c: &mut Criterion) {
-    c.bench_function("micro/sketch_record_100k", |b| {
-        let mut rng = SimRng::new(3);
-        b.iter(|| {
-            let mut s = HotSketch::new(SketchConfig::paper());
-            for i in 0..100_000u64 {
-                s.record(i % 1000, (i % 7) + 1, &mut rng);
-            }
-            black_box(s.hottest())
-        })
+    let z = Zipfian::new(1 << 20, 0.75);
+    let mut zrng = SimRng::new(2);
+    bench("micro/zipf_100k", ITERS, || {
+        let mut acc = 0u64;
+        for _ in 0..100_000 {
+            acc += z.sample(&mut zrng);
+        }
+        acc
     });
-}
 
-fn bench_mailbox(c: &mut Criterion) {
+    let mut srng = SimRng::new(3);
+    bench("micro/sketch_record_100k", ITERS, || {
+        let mut s = HotSketch::new(SketchConfig::paper());
+        for i in 0..100_000u64 {
+            s.record(i % 1000, (i % 7) + 1, &mut srng);
+        }
+        s.hottest()
+    });
+
     let task = Task::new(TaskFnId(0), Timestamp(0), DataAddr(0), 1, TaskArgs::EMPTY);
-    c.bench_function("micro/mailbox_push_drain_10k", |b| {
-        b.iter(|| {
-            let mut mb = Mailbox::new(1 << 20);
-            for _ in 0..10_000 {
-                mb.push(Message::Task(task, false)).unwrap();
-            }
-            let mut n = 0;
-            while !mb.is_empty() {
-                n += mb.drain_up_to(256).len();
-            }
-            black_box(n)
-        })
+    bench("micro/mailbox_push_drain_10k", ITERS, || {
+        let mut mb = Mailbox::new(1 << 20);
+        for _ in 0..10_000 {
+            mb.push(Message::Task(task, false)).unwrap();
+        }
+        let mut n = 0;
+        while !mb.is_empty() {
+            n += mb.drain_up_to(256).len();
+        }
+        n
     });
-}
 
-fn bench_bank(c: &mut Criterion) {
     let timing = DramTiming::ddr4_2400();
-    c.bench_function("micro/bank_access_100k", |b| {
-        b.iter(|| {
-            let mut bank = BankModel::new();
-            let mut t = SimTime::ZERO;
-            for i in 0..100_000u64 {
-                t = bank.access(t, i % 64, 64, i % 3 == 0, &timing).end;
-            }
-            black_box(t)
-        })
+    bench("micro/bank_access_100k", ITERS, || {
+        let mut bank = BankModel::new();
+        let mut t = SimTime::ZERO;
+        for i in 0..100_000u64 {
+            t = bank.access(t, i % 64, 64, i % 3 == 0, &timing).end;
+        }
+        t
     });
-}
 
-fn bench_bus(c: &mut Criterion) {
-    c.bench_function("micro/bus_reserve_100k", |b| {
-        b.iter(|| {
-            let mut bus = Bus::new(64);
-            let mut t = SimTime::ZERO;
-            for _ in 0..100_000 {
-                t = bus.reserve(t, 256).end;
-            }
-            black_box(t)
-        })
+    bench("micro/bus_reserve_100k", ITERS, || {
+        let mut bus = Bus::new(64);
+        let mut t = SimTime::ZERO;
+        for _ in 0..100_000 {
+            t = bus.reserve(t, 256).end;
+        }
+        t
     });
-}
 
-fn bench_rmat(c: &mut Criterion) {
-    c.bench_function("micro/rmat_scale12", |b| {
-        b.iter(|| black_box(Graph::rmat(12, 32_768, 5)))
-    });
+    bench("micro/rmat_scale12", ITERS, || Graph::rmat(12, 32_768, 5));
 }
-
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(20);
-    targets =
-        bench_event_queue,
-        bench_rng,
-        bench_zipf,
-        bench_sketch,
-        bench_mailbox,
-        bench_bank,
-        bench_bus,
-        bench_rmat
-);
-criterion_main!(micro);

@@ -24,12 +24,16 @@ struct Opts {
     scale: Scale,
     apps: Vec<String>,
     json: Option<String>,
+    trace: Option<String>,
+    metrics_json: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
     let mut scale = Scale::Small;
     let mut apps: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
     let mut json = None;
+    let mut trace = None;
+    let mut metrics_json = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -42,21 +46,25 @@ fn parse_opts(args: &[String]) -> Opts {
                 }
             }
             "--json" => json = it.next().cloned(),
+            "--trace" => trace = it.next().cloned(),
+            "--metrics-json" => metrics_json = it.next().cloned(),
             _ => {}
         }
     }
-    Opts { scale, apps, json }
+    Opts {
+        scale,
+        apps,
+        json,
+        trace,
+        metrics_json,
+    }
 }
 
 /// Writes one JSON array of per-run records for a matrix (only when
 /// `--json` was given).
 fn dump_json(o: &Opts, matrix: &[Vec<ndpb_core::RunResult>]) {
     let Some(path) = &o.json else { return };
-    let records: Vec<String> = matrix
-        .iter()
-        .flatten()
-        .map(|r| r.to_json())
-        .collect();
+    let records: Vec<String> = matrix.iter().flatten().map(|r| r.to_json()).collect();
     let body = format!("[\n{}\n]\n", records.join(",\n"));
     if let Err(e) = std::fs::write(path, body) {
         eprintln!("failed to write {path}: {e}");
@@ -67,6 +75,46 @@ fn dump_json(o: &Opts, matrix: &[Vec<ndpb_core::RunResult>]) {
 
 fn app_refs(o: &Opts) -> Vec<&str> {
     o.apps.iter().map(String::as_str).collect()
+}
+
+/// One instrumented run of design O (`--trace` / `--metrics-json`):
+/// records events into a bounded ring, writes a Chrome `trace_event`
+/// JSON (open in chrome://tracing or https://ui.perfetto.dev) and the
+/// per-epoch metric snapshots.
+fn traced_run(o: &Opts) {
+    let app = if o.apps.len() == APP_NAMES.len() {
+        // Whole default list: pick an iterative app so the timeline shows
+        // several epoch barriers (and the metrics JSON several snapshots).
+        "pr"
+    } else {
+        o.apps.first().map(String::as_str).unwrap_or("pr")
+    };
+    let design = DesignPoint::O;
+    println!("== instrumented run: {app} on design {design} ==");
+    let r = ndpb_bench::run_traced(app, design, SystemConfig::table1(), o.scale, 1 << 20);
+    println!("{}", r.row());
+    if let Some(path) = &o.trace {
+        let write = || -> std::io::Result<()> {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+            ndpb_trace::write_chrome_trace(&mut f, &r.trace)
+        };
+        match write() {
+            Ok(()) => eprintln!(
+                "[wrote {} trace events to {path}; open in chrome://tracing or https://ui.perfetto.dev]",
+                r.trace.len()
+            ),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if let Some(path) = &o.metrics_json {
+        match std::fs::write(path, r.metrics.to_json()) {
+            Ok(()) => eprintln!(
+                "[wrote {} metric snapshots to {path}]",
+                r.metrics.snapshots.len()
+            ),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
 }
 
 fn table1() {
@@ -82,7 +130,7 @@ fn table1() {
     );
     println!(
         "Capacity     : {} GB total ({} MB per bank)",
-        c.geometry.total_units() as u64 * c.geometry.bank_bytes >> 30,
+        (c.geometry.total_units() as u64 * c.geometry.bank_bytes) >> 30,
         c.geometry.bank_bytes >> 20
     );
     println!("NDP core     : in-order, 400 MHz, 10 mW");
@@ -101,7 +149,7 @@ fn table1() {
     );
     println!(
         "Bridge SRAM  : {} kB scatter bufs, {} kB backup, {} kB mailbox, dataBorrowed {} entries",
-        c.scatter_buffer_bytes * c.geometry.units_per_rank() as u64 >> 10,
+        (c.scatter_buffer_bytes * c.geometry.units_per_rank() as u64) >> 10,
         c.backup_buffer_bytes >> 10,
         c.bridge_mailbox_bytes >> 10,
         c.bridge_borrowed_entries
@@ -120,7 +168,7 @@ fn table1() {
 
 fn table2() {
     println!("== Table II: evaluated designs ==");
-    println!("{:<8}{:<26}{}", "design", "communication", "load balancing");
+    println!("{:<8}{:<26}load balancing", "design", "communication");
     for d in DesignPoint::table2() {
         let comm = match d.comm_path() {
             ndpb_core::CommPath::HostForward => "forwarded by host CPU",
@@ -142,7 +190,12 @@ fn table2() {
 fn fig2(o: &Opts) {
     println!("== Figure 2: tree traversal on baseline DRAM-bank NDP (design C) ==");
     println!("paper: 32.9% wait time; large max-vs-average gap (512 units)\n");
-    let m = run_matrix(&["tree"], &[Column::Ndp(DesignPoint::C)], SystemConfig::table1, o.scale);
+    let m = run_matrix(
+        &["tree"],
+        &[Column::Ndp(DesignPoint::C)],
+        SystemConfig::table1,
+        o.scale,
+    );
     let r = &m[0][0];
     println!(
         "total (slowest unit): {:>12.1} us\naverage across units: {:>12.1} us  ({:.1}% of total)\nwait time fraction  : {:>11.1} %",
@@ -157,7 +210,10 @@ fn fig10(o: &Opts) {
     println!("== Figure 10: C / B / W / O across applications ==");
     println!("paper: B=1.51x, W=2.23x, O=2.98x over C on average; W can hurt tree\n");
     let apps = app_refs(o);
-    let cols: Vec<Column> = DesignPoint::table2().iter().map(|&d| Column::Ndp(d)).collect();
+    let cols: Vec<Column> = DesignPoint::table2()
+        .iter()
+        .map(|&d| Column::Ndp(d))
+        .collect();
     let m = run_matrix(&apps, &cols, SystemConfig::table1, o.scale);
     dump_json(o, &m);
     print!("{}", format_speedup_table(&apps, &cols, &m));
@@ -169,8 +225,8 @@ fn fig10(o: &Opts) {
     println!();
     for (i, app) in apps.iter().enumerate() {
         print!("{app:<8}");
-        for j in 0..cols.len() {
-            print!("{:>9.1}%", m[i][j].balance * 100.0);
+        for row in &m[i][..cols.len()] {
+            print!("{:>9.1}%", row.balance * 100.0);
         }
         println!();
     }
@@ -182,8 +238,8 @@ fn fig10(o: &Opts) {
     println!();
     for (i, app) in apps.iter().enumerate() {
         print!("{app:<8}");
-        for j in 0..cols.len() {
-            print!("{:>9.1}%", m[i][j].wait_fraction * 100.0);
+        for row in &m[i][..cols.len()] {
+            print!("{:>9.1}%", row.wait_fraction * 100.0);
         }
         println!();
     }
@@ -215,7 +271,10 @@ fn fig12(o: &Opts) {
     println!("== Figure 12: scalability on pr, 64..1024 units ==");
     println!("paper: speedups over baselines grow with scale; O@1024 = 1.68x O@512;");
     println!("       W fails to beat B at 1024 units\n");
-    let cols: Vec<Column> = DesignPoint::table2().iter().map(|&d| Column::Ndp(d)).collect();
+    let cols: Vec<Column> = DesignPoint::table2()
+        .iter()
+        .map(|&d| Column::Ndp(d))
+        .collect();
     println!(
         "{:<8}{:>10}{:>10}{:>10}{:>10}   (makespan us; speedup vs C-at-64-units)",
         "units", "C", "B", "W", "O"
@@ -235,8 +294,8 @@ fn fig12(o: &Opts) {
             base = Some(c0);
         }
         print!("{units:<8}");
-        for j in 0..4 {
-            print!("{:>10.1}", m[0][j].makespan.as_ns() / 1000.0);
+        for cell in &m[0][..4] {
+            print!("{:>10.1}", cell.makespan.as_ns() / 1000.0);
         }
         println!();
     }
@@ -247,7 +306,10 @@ fn fig13(o: &Opts) {
     println!("== Figure 13: energy breakdown (core+SRAM / local DRAM / comm DRAM / static) ==");
     println!("paper: O reduces total energy 56.4% vs C on average\n");
     let apps = app_refs(o);
-    let cols: Vec<Column> = DesignPoint::table2().iter().map(|&d| Column::Ndp(d)).collect();
+    let cols: Vec<Column> = DesignPoint::table2()
+        .iter()
+        .map(|&d| Column::Ndp(d))
+        .collect();
     let m = run_matrix(&apps, &cols, SystemConfig::table1, o.scale);
     println!(
         "{:<8}{:<8}{:>12}{:>12}{:>12}{:>12}{:>12}",
@@ -326,10 +388,7 @@ fn fig14b(o: &Opts) {
             .map(|i| dyn_m[i][0].makespan.ticks() as f64 / m[i][0].makespan.ticks() as f64)
             .collect();
         let energy: Vec<f64> = (0..apps.len())
-            .map(|i| {
-                m[i][0].energy.dram_comm_pj
-                    / dyn_m[i][0].energy.dram_comm_pj.max(1.0)
-            })
+            .map(|i| m[i][0].energy.dram_comm_pj / dyn_m[i][0].energy.dram_comm_pj.max(1.0))
             .collect();
         let wasted: u64 = (0..apps.len()).map(|i| m[i][0].comm_dram_bytes).sum();
         println!(
@@ -347,7 +406,10 @@ fn fig15(o: &Opts) {
     println!("paper: O = 3.26x/2.98x/2.58x over C; B gains most at x4 (2.33x),");
     println!("       LB gains most at x16 (W 1.79x, O 2.3x over B)\n");
     let apps = app_refs(o);
-    let cols: Vec<Column> = DesignPoint::table2().iter().map(|&d| Column::Ndp(d)).collect();
+    let cols: Vec<Column> = DesignPoint::table2()
+        .iter()
+        .map(|&d| Column::Ndp(d))
+        .collect();
     for dq in [4u32, 8, 16] {
         let m = run_matrix(
             &apps,
@@ -370,7 +432,10 @@ fn fig16a(o: &Opts) {
     println!("== Figure 16a: G_xfer x metadata-size sweep (design O) ==");
     println!("paper: 256 B is the sweet spot; 64 B needs 4x metadata to win\n");
     let apps = app_refs(o);
-    println!("{:<10}{:>12}{:>12}{:>12}   (geomean makespan vs 256B/1x)", "G_xfer", "1/4x meta", "1x meta", "4x meta");
+    println!(
+        "{:<10}{:>12}{:>12}{:>12}   (geomean makespan vs 256B/1x)",
+        "G_xfer", "1/4x meta", "1x meta", "4x meta"
+    );
     let mut baseline: Option<f64> = None;
     let mut rows = Vec::new();
     for gx in [64u32, 256, 1024] {
@@ -415,7 +480,12 @@ fn fig16b(o: &Opts) {
     println!("== Figure 16b: I_state sweep (design O) ==");
     println!("paper: 2000 cycles retains performance\n");
     let apps = app_refs(o);
-    let base = run_matrix(&apps, &[Column::Ndp(DesignPoint::O)], SystemConfig::table1, o.scale);
+    let base = run_matrix(
+        &apps,
+        &[Column::Ndp(DesignPoint::O)],
+        SystemConfig::table1,
+        o.scale,
+    );
     for i_state in [500u64, 1000, 2000, 4000, 8000] {
         let m = run_matrix(
             &apps,
@@ -430,7 +500,10 @@ fn fig16b(o: &Opts) {
         let rel: Vec<f64> = (0..apps.len())
             .map(|i| base[i][0].makespan.ticks() as f64 / m[i][0].makespan.ticks() as f64)
             .collect();
-        println!("I_state={i_state:<6} perf vs 2000-cycle default: {:.3}x", geomean(&rel));
+        println!(
+            "I_state={i_state:<6} perf vs 2000-cycle default: {:.3}x",
+            geomean(&rel)
+        );
     }
 }
 
@@ -443,7 +516,12 @@ fn fig16cd(o: &Opts, buckets: bool) {
     println!("== Figure {name}: {what} sweep (design O) ==");
     println!("paper: the 16x16 default is sufficient\n");
     let apps = app_refs(o);
-    let base = run_matrix(&apps, &[Column::Ndp(DesignPoint::O)], SystemConfig::table1, o.scale);
+    let base = run_matrix(
+        &apps,
+        &[Column::Ndp(DesignPoint::O)],
+        SystemConfig::table1,
+        o.scale,
+    );
     for k in [4usize, 8, 16, 32] {
         let m = run_matrix(
             &apps,
@@ -470,7 +548,12 @@ fn split_dimm(o: &Opts) {
     println!("== Section VIII-A: split DIMM buffers (chameleon-s) ==");
     println!("paper: 9.1% performance degradation, 35.3% more wait time\n");
     let apps = app_refs(o);
-    let unified = run_matrix(&apps, &[Column::Ndp(DesignPoint::O)], SystemConfig::table1, o.scale);
+    let unified = run_matrix(
+        &apps,
+        &[Column::Ndp(DesignPoint::O)],
+        SystemConfig::table1,
+        o.scale,
+    );
     let split = run_matrix(
         &apps,
         &[Column::Ndp(DesignPoint::O)],
@@ -481,9 +564,7 @@ fn split_dimm(o: &Opts) {
         .map(|i| split[i][0].makespan.ticks() as f64 / unified[i][0].makespan.ticks() as f64)
         .collect();
     let waits: Vec<f64> = (0..apps.len())
-        .map(|i| {
-            (split[i][0].wait_fraction + 1e-9) / (unified[i][0].wait_fraction + 1e-9)
-        })
+        .map(|i| (split[i][0].wait_fraction + 1e-9) / (unified[i][0].wait_fraction + 1e-9))
         .collect();
     println!(
         "split-DIMM slowdown: {:.1}% (geomean)   wait-time ratio: {:.2}x",
@@ -497,14 +578,22 @@ fn dimm_link(o: &Opts) {
     println!("(Section V-A: NDPBridge is orthogonal to and can work in tandem");
     println!(" with DIMM-Link; the paper's evaluation uses plain DDR channels.)\n");
     let apps = app_refs(o);
-    let base = run_matrix(&apps, &[Column::Ndp(DesignPoint::O)], SystemConfig::table1, o.scale);
+    let base = run_matrix(
+        &apps,
+        &[Column::Ndp(DesignPoint::O)],
+        SystemConfig::table1,
+        o.scale,
+    );
     let linked = run_matrix(
         &apps,
         &[Column::Ndp(DesignPoint::O)],
         || SystemConfig::table1().with_dimm_link(),
         o.scale,
     );
-    println!("{:<8}{:>12}{:>14}{:>14}", "app", "speedup", "chan KB", "chan KB+link");
+    println!(
+        "{:<8}{:>12}{:>14}{:>14}",
+        "app", "speedup", "chan KB", "chan KB+link"
+    );
     let mut sp = Vec::new();
     for (i, app) in apps.iter().enumerate() {
         let s = linked[i][0].speedup_over(&base[i][0]);
@@ -522,10 +611,18 @@ fn dimm_link(o: &Opts) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("all");
-    let o = parse_opts(&args[1.min(args.len())..]);
+    // Flags-first invocation (`repro --trace out.json`) implies the
+    // instrumented run, so tracing needs no subcommand.
+    let cmd = match args.first().map(String::as_str) {
+        Some(f) if f.starts_with("--") => "trace",
+        Some(c) => c,
+        None => "all",
+    };
+    let skip = usize::from(!args.first().is_none_or(|a| a.starts_with("--")));
+    let o = parse_opts(&args[skip.min(args.len())..]);
     let start = std::time::Instant::now();
     match cmd {
+        "trace" => traced_run(&o),
         "table1" => table1(),
         "table2" => table2(),
         "fig2" => fig2(&o),
@@ -572,9 +669,17 @@ fn main() {
         }
         other => {
             eprintln!("unknown subcommand {other:?}");
-            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|all> [--tiny|--small|--full] [--apps a,b,c]");
+            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--json path] [--trace path] [--metrics-json path]");
             std::process::exit(2);
         }
     }
     eprintln!("\n[{} completed in {:.1?}]", cmd, start.elapsed());
+    if cmd == "all" {
+        let (flag, file) = match o.scale {
+            Scale::Full => ("--full", "docs/repro/repro_full.txt"),
+            _ => ("--small", "docs/repro/repro_small.txt"),
+        };
+        eprintln!("[reference outputs live in docs/repro/; regenerate with:");
+        eprintln!(" cargo run --release -p ndpb-bench --bin repro -- all {flag} > {file}]");
+    }
 }

@@ -2,8 +2,10 @@
 //! aggregate the numbers each table/figure of the paper reports.
 //!
 //! The `repro` binary (`src/bin/repro.rs`) exposes one subcommand per
-//! table/figure; the Criterion benches under `benches/` reuse the same
-//! entry points at reduced scale.
+//! table/figure; the `Instant`-based benches under `benches/` (see
+//! [`timing`]) reuse the same entry points at reduced scale.
+
+pub mod timing;
 
 use std::thread;
 
@@ -18,6 +20,22 @@ use ndpb_workloads::{build_app, Scale};
 pub fn run_one(app_name: &str, design: DesignPoint, cfg: SystemConfig, scale: Scale) -> RunResult {
     let app = build_app(app_name, &cfg.geometry, scale, cfg.seed);
     System::new(cfg, design, app).run()
+}
+
+/// [`run_one`] with tracing: attaches a [`ndpb_trace::RingRecorder`] of
+/// `capacity` records, so `RunResult::trace` comes back populated (most
+/// recent events win if the ring overflows).
+pub fn run_traced(
+    app_name: &str,
+    design: DesignPoint,
+    cfg: SystemConfig,
+    scale: Scale,
+    capacity: usize,
+) -> RunResult {
+    let app = build_app(app_name, &cfg.geometry, scale, cfg.seed);
+    let mut sys = System::new(cfg, design, app);
+    sys.set_trace(Box::new(ndpb_trace::RingRecorder::new(capacity)));
+    sys.run()
 }
 
 /// Runs the host-only baseline **H** for one application.
@@ -72,7 +90,11 @@ pub fn run_matrix(
             .collect();
         handles
             .into_iter()
-            .map(|row| row.into_iter().map(|h| h.join().expect("run panicked")).collect())
+            .map(|row| {
+                row.into_iter()
+                    .map(|h| h.join().expect("run panicked"))
+                    .collect()
+            })
             .collect()
     })
 }
@@ -89,7 +111,11 @@ pub fn matrix_geomean_speedup(matrix: &[Vec<RunResult>], target: usize, baseline
 
 /// Formats a speedup table (rows = apps, columns relative to the first
 /// column's makespan).
-pub fn format_speedup_table(apps: &[&str], columns: &[Column], matrix: &[Vec<RunResult>]) -> String {
+pub fn format_speedup_table(
+    apps: &[&str],
+    columns: &[Column],
+    matrix: &[Vec<RunResult>],
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("{:<8}", "app"));
     for c in columns {

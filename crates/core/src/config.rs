@@ -114,8 +114,7 @@ impl SystemConfig {
     /// 1×, 4× metadata sweep).
     pub fn scale_metadata(mut self, factor: f64) -> Self {
         assert!(factor > 0.0, "metadata scale must be positive");
-        self.unit_borrowed_entries =
-            ((self.unit_borrowed_entries as f64 * factor) as usize).max(1);
+        self.unit_borrowed_entries = ((self.unit_borrowed_entries as f64 * factor) as usize).max(1);
         self.bridge_borrowed_entries =
             ((self.bridge_borrowed_entries as f64 * factor) as usize).max(1);
         self
@@ -133,8 +132,8 @@ impl SystemConfig {
     pub fn i_min(&self) -> SimTime {
         // Per position, G_xfer bytes per chip over the chip's data pins,
         // all chips in parallel; a round has gather + scatter phases.
-        let per_chip_bits = (self.geometry.intra_rank_data_bits()
-            / self.geometry.chips_per_rank) as u64;
+        let per_chip_bits =
+            (self.geometry.intra_rank_data_bits() / self.geometry.chips_per_rank) as u64;
         let t = (self.g_xfer as u64 * 8).div_ceil(per_chip_bits);
         SimTime::from_ticks(2 * t * self.geometry.banks_per_chip as u64)
     }
@@ -165,8 +164,7 @@ impl SystemConfig {
     /// Maximum number of blocks the borrowed-data region can hold; the
     /// `dataBorrowed` table may be the tighter limit.
     pub fn borrowed_capacity_blocks(&self) -> usize {
-        ((self.borrowed_region_bytes / self.g_xfer as u64) as usize)
-            .min(self.unit_borrowed_entries)
+        ((self.borrowed_region_bytes / self.g_xfer as u64) as usize).min(self.unit_borrowed_entries)
     }
 }
 
@@ -179,7 +177,11 @@ impl Default for SystemConfig {
 /// The in-advance scheduling threshold `W_th = 2 · G_xfer · S_exe /
 /// S_xfer` (Section VI-C), in workload units, from the bridge's current
 /// speed estimates.
-pub fn w_threshold(g_xfer: u32, s_exe_cycles_per_workload: f64, s_xfer_bytes_per_cycle: f64) -> u64 {
+pub fn w_threshold(
+    g_xfer: u32,
+    s_exe_cycles_per_workload: f64,
+    s_xfer_bytes_per_cycle: f64,
+) -> u64 {
     if s_xfer_bytes_per_cycle <= 0.0 || s_exe_cycles_per_workload <= 0.0 {
         return g_xfer as u64; // conservative fallback before estimates exist
     }

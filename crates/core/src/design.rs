@@ -119,7 +119,12 @@ impl DesignPoint {
 
     /// All four Table II rows, in the paper's order.
     pub fn table2() -> [DesignPoint; 4] {
-        [DesignPoint::C, DesignPoint::B, DesignPoint::W, DesignPoint::O]
+        [
+            DesignPoint::C,
+            DesignPoint::B,
+            DesignPoint::W,
+            DesignPoint::O,
+        ]
     }
 }
 

@@ -216,8 +216,7 @@ impl HostOnly {
         let e = &self.cfg.energy;
         let energy = EnergyBreakdown {
             core_sram_pj: self.host.core_active_w * busy_total.as_secs() * 1e12,
-            dram_local_pj: e.dram_pj(self.dram_bytes)
-                + e.channel_pj(self.dram_bytes),
+            dram_local_pj: e.dram_pj(self.dram_bytes) + e.channel_pj(self.dram_bytes),
             dram_comm_pj: 0.0,
             static_pj: self.host.static_w * makespan.as_secs() * 1e12,
         };
@@ -251,6 +250,8 @@ impl HostOnly {
             checksum: self.app.checksum(),
             events: self.q.popped(),
             per_unit_busy: self.worker_busy.iter().map(|b| b.total().ticks()).collect(),
+            metrics: ndpb_trace::MetricsReport::default(),
+            trace: Vec::new(),
         }
     }
 }
@@ -295,10 +296,7 @@ mod tests {
 
     #[test]
     fn executes_all_tasks() {
-        let app = Flat {
-            n: 64,
-            executed: 0,
-        };
+        let app = Flat { n: 64, executed: 0 };
         let r = HostOnly::new(
             SystemConfig::table1(),
             HostOnlyConfig::paper(),
@@ -342,7 +340,13 @@ mod tests {
             fn initial_tasks(&mut self) -> Vec<Task> {
                 (0..32)
                     .map(|i| {
-                        Task::new(TaskFnId(0), Timestamp(0), DataAddr(i * 64), 10, TaskArgs::EMPTY)
+                        Task::new(
+                            TaskFnId(0),
+                            Timestamp(0),
+                            DataAddr(i * 64),
+                            10,
+                            TaskArgs::EMPTY,
+                        )
                     })
                     .collect()
             }
@@ -379,7 +383,13 @@ mod tests {
             fn initial_tasks(&mut self) -> Vec<Task> {
                 (0..64)
                     .map(|i| {
-                        Task::new(TaskFnId(0), Timestamp(0), DataAddr(i * 4096), 1, TaskArgs::EMPTY)
+                        Task::new(
+                            TaskFnId(0),
+                            Timestamp(0),
+                            DataAddr(i * 4096),
+                            1,
+                            TaskArgs::EMPTY,
+                        )
                     })
                     .collect()
             }

@@ -2,6 +2,7 @@
 
 use ndpb_dram::EnergyBreakdown;
 use ndpb_sim::SimTime;
+use ndpb_trace::{MetricsReport, TraceRecord};
 
 /// The outcome of one simulation run.
 #[derive(Debug, Clone)]
@@ -51,6 +52,13 @@ pub struct RunResult {
     /// Per-unit busy time in ticks (index = unit id); the raw data
     /// behind `avg_unit_time`/`max_unit_time`, for histograms.
     pub per_unit_busy: Vec<u64>,
+    /// Hierarchical metrics with per-epoch snapshots (serialize with
+    /// [`MetricsReport::to_json`]).
+    pub metrics: MetricsReport,
+    /// Trace events captured during the run; empty unless a sink was
+    /// attached (see `System::set_trace`). Serialize with
+    /// `ndpb_trace::write_chrome_trace`.
+    pub trace: Vec<TraceRecord>,
 }
 
 impl RunResult {
@@ -207,6 +215,8 @@ mod tests {
             checksum: 7,
             events: 1,
             per_unit_busy: vec![makespan_ticks, makespan_ticks / 2],
+            metrics: MetricsReport::default(),
+            trace: Vec::new(),
         }
     }
 

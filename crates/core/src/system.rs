@@ -12,7 +12,8 @@ use ndpb_proto::message::DataMessage;
 use ndpb_proto::Message;
 use ndpb_sim::stats::FinishTimes;
 use ndpb_sim::{EventQueue, SimRng, SimTime, TICKS_PER_CORE_CYCLE};
-use ndpb_tasks::{Application, ExecCtx, Task};
+use ndpb_tasks::{Application, ExecCtx, Task, Timestamp};
+use ndpb_trace::{ComponentId, MetricId, MetricsRegistry, TraceEvent, TraceRecord, TraceSink};
 
 use crate::bridge::{HostBridge, RankBridge};
 use crate::config::{w_threshold, SystemConfig, TriggerPolicy};
@@ -76,11 +77,83 @@ pub struct System {
     /// Block id traced via `NDPB_TRACE_BLOCK` (debug aid), cached at
     /// construction so hot paths never touch the environment.
     traced_block: Option<u64>,
-    // aggregate statistics
-    comm_dram_bytes: u64,
-    msgs_delivered: u64,
-    blocks_migrated: u64,
-    sram_staged_bytes: u64,
+    /// Optional event trace sink (`None` = tracing off: hooks cost one
+    /// branch). Attached via [`System::set_trace`], drained into
+    /// [`RunResult::trace`] by `finalize`.
+    trace: Option<Box<dyn TraceSink>>,
+    /// Hierarchical run metrics, snapshotted at every epoch barrier.
+    /// Supersedes the loose aggregate fields this struct used to carry.
+    metrics: MetricsRegistry,
+    m: SysMetrics,
+}
+
+/// Pre-registered [`MetricId`]s for the system's counters, so hot paths
+/// update by index instead of by name.
+struct SysMetrics {
+    // Hot counters, updated inline.
+    comm_dram_bytes: MetricId,
+    msgs_delivered: MetricId,
+    blocks_migrated: MetricId,
+    sram_staged_bytes: MetricId,
+    epoch: MetricId,
+    // Gauges harvested from component stats at snapshot time.
+    unit_tasks_executed: MetricId,
+    unit_tasks_rerouted: MetricId,
+    unit_mailbox_stalls: MetricId,
+    sketch_reserved_hits: MetricId,
+    sketch_reserved_overflows: MetricId,
+    bridge_gathers: MetricId,
+    bridge_wasted_gathers: MetricId,
+    bridge_scatters: MetricId,
+    bridge_bytes_gathered: MetricId,
+    bridge_bytes_scattered: MetricId,
+    bridge_lb_rounds: MetricId,
+    bridge_schedules: MetricId,
+    host_bytes_gathered: MetricId,
+    host_bytes_scattered: MetricId,
+    host_lb_rounds: MetricId,
+    bus_rank_bytes: MetricId,
+    bus_channel_bytes: MetricId,
+}
+
+impl SysMetrics {
+    fn register(reg: &mut MetricsRegistry) -> Self {
+        SysMetrics {
+            comm_dram_bytes: reg.register("system/comm_dram_bytes"),
+            msgs_delivered: reg.register("system/msgs_delivered"),
+            blocks_migrated: reg.register("system/blocks_migrated"),
+            sram_staged_bytes: reg.register("system/sram_staged_bytes"),
+            epoch: reg.register("system/epoch"),
+            unit_tasks_executed: reg.register("unit/tasks_executed"),
+            unit_tasks_rerouted: reg.register("unit/tasks_rerouted"),
+            unit_mailbox_stalls: reg.register("unit/mailbox_stalls"),
+            sketch_reserved_hits: reg.register("sketch/reserved_hits"),
+            sketch_reserved_overflows: reg.register("sketch/reserved_overflows"),
+            bridge_gathers: reg.register("bridge/gathers"),
+            bridge_wasted_gathers: reg.register("bridge/wasted_gathers"),
+            bridge_scatters: reg.register("bridge/scatters"),
+            bridge_bytes_gathered: reg.register("bridge/bytes_gathered"),
+            bridge_bytes_scattered: reg.register("bridge/bytes_scattered"),
+            bridge_lb_rounds: reg.register("bridge/lb_rounds"),
+            bridge_schedules: reg.register("bridge/schedules"),
+            host_bytes_gathered: reg.register("host/bytes_gathered"),
+            host_bytes_scattered: reg.register("host/bytes_scattered"),
+            host_lb_rounds: reg.register("host/lb_rounds"),
+            bus_rank_bytes: reg.register("bus/rank_bytes"),
+            bus_channel_bytes: reg.register("bus/channel_bytes"),
+        }
+    }
+}
+
+/// Reborrows the optional sink as the `Option<&mut dyn TraceSink>` the
+/// component hooks take. (`Option::as_deref_mut` alone cannot shorten
+/// the trait object's `'static` bound inside the `Option`, so every
+/// hook site goes through this.)
+fn sink(trace: &mut Option<Box<dyn TraceSink>>) -> Option<&mut dyn TraceSink> {
+    match trace {
+        Some(b) => Some(b.as_mut()),
+        None => None,
+    }
 }
 
 impl System {
@@ -125,12 +198,16 @@ impl System {
             .map(|_| Bus::new(cfg.geometry.channel_dq_bits()))
             .collect();
         let link_bus = match cfg.dimm_link {
-            Some(bits) => (0..cfg.geometry.total_ranks()).map(|_| Bus::new(bits)).collect(),
+            Some(bits) => (0..cfg.geometry.total_ranks())
+                .map(|_| Bus::new(bits))
+                .collect(),
             None => Vec::new(),
         };
         let link_scheduled = vec![false; cfg.geometry.total_ranks() as usize];
         let traced_block = std::env::var_os("NDPB_TRACE_BLOCK")
             .and_then(|v| v.to_string_lossy().parse::<u64>().ok());
+        let mut metrics = MetricsRegistry::new();
+        let m = SysMetrics::register(&mut metrics);
         System {
             comm: design.comm_path(),
             lb: design.lb_policy(),
@@ -148,12 +225,18 @@ impl System {
             epochs: EpochTracker::new(),
             done: false,
             traced_block,
-            comm_dram_bytes: 0,
-            msgs_delivered: 0,
-            blocks_migrated: 0,
-            sram_staged_bytes: 0,
+            trace: None,
+            metrics,
+            m,
             cfg,
         }
+    }
+
+    /// Attaches a trace sink; events recorded during [`run`](Self::run)
+    /// are drained into [`RunResult::trace`](crate::result::RunResult).
+    /// Without a sink every hook costs a single branch.
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
     }
 
     /// The address map in force (for tests and workload setup).
@@ -174,8 +257,7 @@ impl System {
         for r in 0..self.bridges.len() {
             if self.comm == CommPath::Bridges {
                 self.bridges[r].state_scheduled = true;
-                self.q
-                    .schedule(self.cfg.i_state(), Ev::RankState(r as u32));
+                self.q.schedule(self.cfg.i_state(), Ev::RankState(r as u32));
             }
         }
         self.q.schedule(self.cfg.i_state(), Ev::HostState);
@@ -188,7 +270,7 @@ impl System {
                 self.design,
                 self.app.name()
             );
-            if debug && self.q.popped() % 1_000_000 == 0 {
+            if debug && self.q.popped().is_multiple_of(1_000_000) {
                 let queued: usize = self.units.iter().map(|u| u.queued_tasks()).sum();
                 let future: usize = self.units.iter().map(|u| u.future_tasks()).sum();
                 let mailed: usize = self.units.iter().map(|u| u.mailbox.len()).sum();
@@ -260,7 +342,13 @@ impl System {
     /// `NDPB_TRACE_BLOCK` environment variable.
     fn trace_block(&self, block: BlockAddr, what: &str) {
         if self.traced_block == Some(block.0) {
-            eprintln!("[block {} @{} {}] {}", block.0, self.q.now(), self.design, what);
+            eprintln!(
+                "[block {} @{} {}] {}",
+                block.0,
+                self.q.now(),
+                self.design,
+                what
+            );
         }
     }
 
@@ -339,16 +427,23 @@ impl System {
         self.app.execute(&task, &mut ctx);
         let mut t = now + SimTime::from_ticks(ctx.compute_cycles() * TICKS_PER_CORE_CYCLE);
         let timing = self.cfg.timing.clone();
+        let comp = ComponentId::Unit(u as u32);
         {
             let unit = &mut self.units[u];
             for &(addr, bytes) in ctx.reads() {
                 let row = self.map.row_of(addr);
-                t = unit.bank.access(t, row, bytes, false, &timing).end;
+                t = unit
+                    .bank
+                    .access_traced(t, row, bytes, false, &timing, comp, sink(&mut self.trace))
+                    .end;
                 unit.stats.dram_local_bytes.add(bytes as u64);
             }
             for &(addr, bytes) in ctx.writes() {
                 let row = self.map.row_of(addr);
-                t = unit.bank.access(t, row, bytes, true, &timing).end;
+                t = unit
+                    .bank
+                    .access_traced(t, row, bytes, true, &timing, comp, sink(&mut self.trace))
+                    .end;
                 unit.stats.dram_local_bytes.add(bytes as u64);
             }
             unit.core_free_at = t;
@@ -356,6 +451,17 @@ impl System {
             unit.stats.last_finish = t;
             unit.stats.tasks_executed.inc();
             unit.add_finished(task.workload_or_default());
+        }
+        if let Some(tr) = sink(&mut self.trace) {
+            tr.record(TraceRecord::span(
+                now,
+                t - now,
+                comp,
+                TraceEvent::TaskExec {
+                    func: task.func.0,
+                    workload: task.workload_or_default(),
+                },
+            ));
         }
         let children = ctx.into_spawned();
         for c in &children {
@@ -370,6 +476,7 @@ impl System {
             self.route_spawn(u, child, now);
         }
         if let Some(new_epoch) = self.epochs.completed(task.ts) {
+            self.note_epoch_advance(new_epoch, now);
             let hot = self.lb.hot_data;
             for i in 0..self.units.len() {
                 let released = {
@@ -394,9 +501,17 @@ impl System {
             // Local: enqueue directly (a cheap in-DRAM task-queue append).
             let timing = self.cfg.timing.clone();
             let unit = &mut self.units[u];
-            unit.bank
-                .access(now, TASKQ_ROW, task.wire_bytes(), true, &timing);
-            self.comm_dram_bytes += task.wire_bytes() as u64;
+            unit.bank.access_traced(
+                now,
+                TASKQ_ROW,
+                task.wire_bytes(),
+                true,
+                &timing,
+                ComponentId::Unit(u as u32),
+                sink(&mut self.trace),
+            );
+            self.metrics
+                .add(self.m.comm_dram_bytes, task.wire_bytes() as u64);
             let hot = self.lb.hot_data;
             if self.epochs.is_ready(task.ts) {
                 let map = &self.map;
@@ -433,11 +548,20 @@ impl System {
         self.units[dst]
             .bank
             .access(start, BORROW_ROW, 64, true, &timing);
-        self.units[src].bank.precharge();
-        self.units[dst].bank.precharge();
-        self.comm_dram_bytes += 128;
+        self.units[src].bank.precharge_traced(
+            s,
+            ComponentId::Unit(src as u32),
+            sink(&mut self.trace),
+        );
+        self.units[dst].bank.precharge_traced(
+            end,
+            ComponentId::Unit(dst as u32),
+            sink(&mut self.trace),
+        );
+        self.metrics.add(self.m.comm_dram_bytes, 128);
         self.units[src].stats.msgs_emitted.inc();
-        self.q.schedule(end, Ev::Deliver(dst as u32, Message::Task(task, false)));
+        self.q
+            .schedule(end, Ev::Deliver(dst as u32, Message::Task(task, false)));
     }
 
     /// Puts a message into `u`'s mailbox (stalling the core when full),
@@ -445,13 +569,25 @@ impl System {
     fn emit_message(&mut self, u: usize, msg: Message, now: SimTime) {
         let bytes = msg.wire_bytes();
         let timing = self.cfg.timing.clone();
+        let comp = ComponentId::Unit(u as u32);
         let unit = &mut self.units[u];
-        unit.bank.access(now, MAILBOX_ROW, bytes, true, &timing);
-        self.comm_dram_bytes += bytes as u64;
+        unit.bank.access_traced(
+            now,
+            MAILBOX_ROW,
+            bytes,
+            true,
+            &timing,
+            comp,
+            sink(&mut self.trace),
+        );
+        self.metrics.add(self.m.comm_dram_bytes, bytes as u64);
         unit.stats.msgs_emitted.inc();
         if !unit.pending_out.is_empty() {
             unit.pending_out.push_back(msg);
-        } else if let Some(back) = unit.mailbox.try_push(msg) {
+        } else if let Some(back) =
+            unit.mailbox
+                .try_push_traced(msg, now, comp, sink(&mut self.trace))
+        {
             // Mailbox full: park the message and stall the core until a
             // gather frees space (Section V-A).
             unit.pending_out.push_back(back);
@@ -476,9 +612,13 @@ impl System {
     /// allows; wakes the core when fully drained.
     fn flush_pending_out(&mut self, u: usize) {
         let now = self.q.now();
+        let comp = ComponentId::Unit(u as u32);
         let unit = &mut self.units[u];
         while let Some(front) = unit.pending_out.pop_front() {
-            if let Some(back) = unit.mailbox.try_push(front) {
+            if let Some(back) =
+                unit.mailbox
+                    .try_push_traced(front, now, comp, sink(&mut self.trace))
+            {
                 unit.pending_out.push_front(back);
                 break;
             }
@@ -492,7 +632,7 @@ impl System {
 
     fn on_deliver(&mut self, u: usize, msg: Message) {
         let now = self.q.now();
-        self.msgs_delivered += 1;
+        self.metrics.inc(self.m.msgs_delivered);
         self.units[u].stats.msgs_received.inc();
         match msg {
             Message::Task(task, scheduled) => {
@@ -509,7 +649,11 @@ impl System {
                 if !self.units[u].holds_block(block, &self.map) {
                     // Stale routing: forward to the current holder.
                     self.units[u].stats.tasks_rerouted.inc();
-                    if self.units[u].stats.tasks_rerouted.get() % 10_000 == 0
+                    if self.units[u]
+                        .stats
+                        .tasks_rerouted
+                        .get()
+                        .is_multiple_of(10_000)
                         && std::env::var_os("NDPB_DEBUG").is_some()
                     {
                         let home = self.map.block_home(block);
@@ -559,7 +703,7 @@ impl System {
         let evicted = self.units[u].admit_borrow(dm.block);
         // Borrowed-region write charged during scatter already; the
         // metadata update is an SRAM access.
-        self.sram_staged_bytes += 16;
+        self.metrics.add(self.m.sram_staged_bytes, 16);
         if let Some(victim) = evicted {
             self.return_block_home(u, victim, now);
         }
@@ -645,8 +789,8 @@ impl System {
         let base = r * self.cfg.geometry.units_per_rank() as usize;
         let n = self.cfg.geometry.units_per_rank() as usize;
         let units = &self.units[base..base + n];
-        let any_msgs = units.iter().any(|u| !u.mailbox.is_empty())
-            || self.bridges[r].has_pending_output();
+        let any_msgs =
+            units.iter().any(|u| !u.mailbox.is_empty()) || self.bridges[r].has_pending_output();
         let at = match self.cfg.trigger {
             TriggerPolicy::Dynamic => {
                 if !any_msgs {
@@ -655,8 +799,7 @@ impl System {
                 let big = units
                     .iter()
                     .any(|u| u.mailbox.bytes_used() >= self.cfg.g_xfer as u64);
-                let pending_scatter = (0..n)
-                    .any(|i| self.bridges[r].scatter_pending(i) > 0)
+                let pending_scatter = (0..n).any(|i| self.bridges[r].scatter_pending(i) > 0)
                     || self.bridges[r].backup_pending() > 0;
                 if big || pending_scatter {
                     // An unproductive round (nothing gathered or
@@ -713,22 +856,34 @@ impl System {
             let pos = (start_pos + step) % banks;
             let units_at: Vec<usize> = (0..chips).map(|c| base + c * banks + pos).collect();
             let wanted = fixed_trigger
-                || units_at
-                    .iter()
-                    .any(|&u| !self.units[u].mailbox.is_empty() || !self.units[u].pending_out.is_empty());
+                || units_at.iter().any(|&u| {
+                    !self.units[u].mailbox.is_empty() || !self.units[u].pending_out.is_empty()
+                });
             if !wanted {
                 continue;
             }
-            let grant = self.rank_bus[r].reserve(t, (chips as u64) * gxfer as u64);
+            let grant = self.rank_bus[r].reserve_traced(
+                t,
+                (chips as u64) * gxfer as u64,
+                ComponentId::RankBus(r as u32),
+                sink(&mut self.trace),
+            );
             t = grant.end;
             for &u in &units_at {
                 self.bridges[r].stats.gathers.inc();
                 // The bank read of the mailbox region (access arbiter).
-                self.units[u]
-                    .bank
-                    .access(grant.start, MAILBOX_ROW, gxfer, false, &timing);
-                self.comm_dram_bytes += gxfer as u64;
+                self.units[u].bank.access_traced(
+                    grant.start,
+                    MAILBOX_ROW,
+                    gxfer,
+                    false,
+                    &timing,
+                    ComponentId::Unit(u as u32),
+                    sink(&mut self.trace),
+                );
+                self.metrics.add(self.m.comm_dram_bytes, gxfer as u64);
                 let msgs = self.units[u].mailbox.drain_up_to(gxfer);
+                let msg_count = msgs.len() as u32;
                 if msgs.is_empty() {
                     self.bridges[r].stats.wasted_gathers.inc();
                 } else {
@@ -754,7 +909,19 @@ impl System {
                     }
                 }
                 self.bridges[r].stats.bytes_gathered.add(gathered);
-                self.sram_staged_bytes += gathered;
+                self.metrics.add(self.m.sram_staged_bytes, gathered);
+                if let Some(tr) = sink(&mut self.trace) {
+                    tr.record(TraceRecord::span(
+                        grant.start,
+                        grant.end - grant.start,
+                        ComponentId::Bridge(r as u32),
+                        TraceEvent::Gather {
+                            bytes: gathered,
+                            msgs: msg_count,
+                            wasted: msg_count == 0,
+                        },
+                    ));
+                }
                 // Space freed: unblock a stalled core.
                 if !self.units[u].pending_out.is_empty() {
                     self.flush_pending_out(u);
@@ -779,7 +946,12 @@ impl System {
             if !wanted {
                 continue;
             }
-            let grant = self.rank_bus[r].reserve(t, (chips as u64) * gxfer as u64);
+            let grant = self.rank_bus[r].reserve_traced(
+                t,
+                (chips as u64) * gxfer as u64,
+                ComponentId::RankBus(r as u32),
+                sink(&mut self.trace),
+            );
             t = grant.end;
             for &u in &units_at {
                 let local = self.local_index(u);
@@ -791,12 +963,29 @@ impl System {
                 moved += msgs.len() as u64;
                 let bytes: u64 = msgs.iter().map(|m| m.wire_bytes() as u64).sum();
                 self.bridges[r].stats.bytes_scattered.add(bytes);
-                self.sram_staged_bytes += bytes;
+                self.metrics.add(self.m.sram_staged_bytes, bytes);
                 // Bank write of the delivered messages.
-                self.units[u]
-                    .bank
-                    .access(grant.start, BORROW_ROW, bytes as u32, true, &timing);
-                self.comm_dram_bytes += bytes;
+                self.units[u].bank.access_traced(
+                    grant.start,
+                    BORROW_ROW,
+                    bytes as u32,
+                    true,
+                    &timing,
+                    ComponentId::Unit(u as u32),
+                    sink(&mut self.trace),
+                );
+                self.metrics.add(self.m.comm_dram_bytes, bytes);
+                if let Some(tr) = sink(&mut self.trace) {
+                    tr.record(TraceRecord::span(
+                        grant.start,
+                        grant.end - grant.start,
+                        ComponentId::Bridge(r as u32),
+                        TraceEvent::Scatter {
+                            bytes,
+                            msgs: msgs.len() as u32,
+                        },
+                    ));
+                }
                 for msg in msgs {
                     if let Message::Data(dm, _) = &msg {
                         self.trace_block(dm.block, &format!("scatter-deliver to u{u}"));
@@ -831,7 +1020,8 @@ impl System {
             return;
         }
         self.link_scheduled[r] = true;
-        self.q.schedule(now.max(self.q.now()), Ev::LinkRound(r as u32));
+        self.q
+            .schedule(now.max(self.q.now()), Ev::LinkRound(r as u32));
     }
 
     fn on_link_round(&mut self, r: usize) {
@@ -841,8 +1031,13 @@ impl System {
         for msg in msgs {
             let dest_rank = self.route_at_host(&msg);
             let bytes = msg.wire_bytes() as u64;
-            let grant = self.link_bus[r].reserve(now, bytes);
-            self.sram_staged_bytes += bytes;
+            let grant = self.link_bus[r].reserve_traced(
+                now,
+                bytes,
+                ComponentId::Link(r as u32),
+                sink(&mut self.trace),
+            );
+            self.metrics.add(self.m.sram_staged_bytes, bytes);
             self.q
                 .schedule(grant.end, Ev::LinkDeliver(dest_rank as u32, msg));
         }
@@ -855,10 +1050,8 @@ impl System {
             Err(back) => {
                 // Destination bridge full: hold the message on the link
                 // and retry after a round's worth of draining.
-                self.q.schedule(
-                    now + self.cfg.i_min(),
-                    Ev::LinkDeliver(dest as u32, back),
-                );
+                self.q
+                    .schedule(now + self.cfg.i_min(), Ev::LinkDeliver(dest as u32, back));
             }
         }
     }
@@ -922,7 +1115,20 @@ impl System {
         // STATE-GATHER: one 64 B state message per child, all chips in
         // parallel per bank position.
         let state_bytes = 64u64 * n as u64;
-        let grant = self.rank_bus[r].reserve(now, state_bytes);
+        let grant = self.rank_bus[r].reserve_traced(
+            now,
+            state_bytes,
+            ComponentId::RankBus(r as u32),
+            sink(&mut self.trace),
+        );
+        if let Some(tr) = sink(&mut self.trace) {
+            tr.record(TraceRecord::span(
+                grant.start,
+                grant.end - grant.start,
+                ComponentId::Bridge(r as u32),
+                TraceEvent::StateGather { bytes: state_bytes },
+            ));
+        }
         let mut finished_total = 0u64;
         for i in 0..n {
             let u = base + i;
@@ -934,12 +1140,10 @@ impl System {
             finished_total += st.finished_workload;
             self.bridges[r].child_state[i] = st;
         }
-        self.sram_staged_bytes += state_bytes;
-        self.bridges[r]
-            .update_speed_estimate(self.cfg.i_state_cycles, finished_total);
+        self.metrics.add(self.m.sram_staged_bytes, state_bytes);
+        self.bridges[r].update_speed_estimate(self.cfg.i_state_cycles, finished_total);
         // Host's aggregate view (used by level-2 LB).
-        self.host.rank_queue_workload[r] = self
-            .bridges[r]
+        self.host.rank_queue_workload[r] = self.bridges[r]
             .child_state
             .iter()
             .map(|s| s.queue_workload)
@@ -985,7 +1189,11 @@ impl System {
         if receivers.is_empty() {
             return;
         }
-        let giver_floor = if self.lb.fine_grained { 2 * w_th } else { w_th.max(1) };
+        let giver_floor = if self.lb.fine_grained {
+            2 * w_th
+        } else {
+            w_th.max(1)
+        };
         let givers = self.bridges[r].busy_children(giver_floor);
         if givers.is_empty() {
             return;
@@ -1037,6 +1245,16 @@ impl System {
         cross_rank: bool,
     ) {
         self.bridges[r].stats.schedules.inc();
+        if let Some(tr) = sink(&mut self.trace) {
+            tr.record(TraceRecord::instant(
+                now,
+                ComponentId::Bridge(r as u32),
+                TraceEvent::Schedule {
+                    budget,
+                    receivers: receivers.len() as u32,
+                },
+            ));
+        }
         let hot = self.lb.hot_data;
         let chosen = {
             let map = &self.map;
@@ -1046,25 +1264,39 @@ impl System {
             return;
         }
         let base = r * self.cfg.geometry.units_per_rank() as usize;
-        let mut rr = 0usize;
-        for sb in chosen {
+        for (rr, sb) in chosen.into_iter().enumerate() {
             let recv_global = if cross_rank {
                 receivers[rr % receivers.len()]
             } else {
                 base + receivers[rr % receivers.len()]
             };
-            rr += 1;
             let recv_id = UnitId(recv_global as u32);
-            self.trace_block(sb.block, &format!("scheduled giver=u{giver} recv=u{recv_global} tasks={}", sb.tasks.len()));
-            self.blocks_migrated += 1;
+            self.trace_block(
+                sb.block,
+                &format!(
+                    "scheduled giver=u{giver} recv=u{recv_global} tasks={}",
+                    sb.tasks.len()
+                ),
+            );
+            self.metrics.inc(self.m.blocks_migrated);
+            if let Some(tr) = sink(&mut self.trace) {
+                tr.record(TraceRecord::instant(
+                    now,
+                    ComponentId::Bridge(r as u32),
+                    TraceEvent::Migrate {
+                        block: sb.block.0,
+                        from: giver as u32,
+                        to: recv_global as u32,
+                        tasks: sb.tasks.len() as u32,
+                    },
+                ));
+            }
             // Metadata at assignment time (step ④).
             if cross_rank {
                 let recv_rank = self.cfg.geometry.rank_of(recv_id);
                 if let Some((evb, evr)) = self.host.data_borrowed.insert(sb.block, recv_rank) {
                     // Overflow: return that block home from wherever it is.
-                    if let Some(&holder) =
-                        self.bridges[evr.index()].data_borrowed.peek(&evb)
-                    {
+                    if let Some(&holder) = self.bridges[evr.index()].data_borrowed.peek(&evb) {
                         let h = holder.index();
                         self.units[h].remove_borrow(evb);
                         self.return_block_home(h, evb, now);
@@ -1243,11 +1475,28 @@ impl System {
             }
             let ch = g.channel_of_rank(ndpb_dram::RankId(r as u32)).index();
             let bytes = self.bridges[r].up_mailbox.bytes_used();
-            let grant = self.channel[ch].reserve(now, bytes);
+            let grant = self.channel[ch].reserve_traced(
+                now,
+                bytes,
+                ComponentId::Channel(ch as u32),
+                sink(&mut self.trace),
+            );
             t_end = t_end.max(grant.end);
             let msgs = self.bridges[r].up_mailbox.drain_up_to(u32::MAX);
             self.host.stats.bytes_gathered.add(bytes);
-            self.sram_staged_bytes += bytes;
+            self.metrics.add(self.m.sram_staged_bytes, bytes);
+            if let Some(tr) = sink(&mut self.trace) {
+                tr.record(TraceRecord::span(
+                    grant.start,
+                    grant.end - grant.start,
+                    ComponentId::Host,
+                    TraceEvent::Gather {
+                        bytes,
+                        msgs: msgs.len() as u32,
+                        wasted: msgs.is_empty(),
+                    },
+                ));
+            }
             for msg in msgs {
                 let dest_rank = self.route_at_host(&msg);
                 self.host.enqueue_scatter(dest_rank, msg);
@@ -1262,10 +1511,26 @@ impl System {
             }
             let ch = g.channel_of_rank(ndpb_dram::RankId(r as u32)).index();
             let bytes = self.host.scatter_pending(r);
-            let grant = self.channel[ch].reserve(t, bytes);
+            let grant = self.channel[ch].reserve_traced(
+                t,
+                bytes,
+                ComponentId::Channel(ch as u32),
+                sink(&mut self.trace),
+            );
             final_end = final_end.max(grant.end);
             let msgs = self.host.drain_scatter(r);
             self.host.stats.bytes_scattered.add(bytes);
+            if let Some(tr) = sink(&mut self.trace) {
+                tr.record(TraceRecord::span(
+                    grant.start,
+                    grant.end - grant.start,
+                    ComponentId::Host,
+                    TraceEvent::Scatter {
+                        bytes,
+                        msgs: msgs.len() as u32,
+                    },
+                ));
+            }
             let mut leftover = Vec::new();
             for msg in msgs {
                 if let Err(back) = self.absorb_at_rank(r, msg) {
@@ -1303,24 +1568,58 @@ impl System {
             for pos in 0..banks {
                 let units_at: Vec<usize> = (0..chips).map(|c| base + c * banks + pos).collect();
                 let bytes = (chips as u64) * gxfer as u64;
-                let start = self.rank_bus[r].free_at().max(self.channel[ch].free_at()).max(now);
-                let cg = self.channel[ch].reserve(start, bytes);
-                self.rank_bus[r].reserve(start, bytes);
+                let start = self.rank_bus[r]
+                    .free_at()
+                    .max(self.channel[ch].free_at())
+                    .max(now);
+                let cg = self.channel[ch].reserve_traced(
+                    start,
+                    bytes,
+                    ComponentId::Channel(ch as u32),
+                    sink(&mut self.trace),
+                );
+                self.rank_bus[r].reserve_traced(
+                    start,
+                    bytes,
+                    ComponentId::RankBus(r as u32),
+                    sink(&mut self.trace),
+                );
                 t_end = t_end.max(cg.end);
                 for &u in &units_at {
                     self.host.stats.gathers.inc();
-                    self.units[u]
-                        .bank
-                        .access(cg.start, MAILBOX_ROW, gxfer, false, &timing);
-                    self.comm_dram_bytes += gxfer as u64;
+                    self.units[u].bank.access_traced(
+                        cg.start,
+                        MAILBOX_ROW,
+                        gxfer,
+                        false,
+                        &timing,
+                        ComponentId::Unit(u as u32),
+                        sink(&mut self.trace),
+                    );
+                    self.metrics.add(self.m.comm_dram_bytes, gxfer as u64);
                     let msgs = self.units[u].mailbox.drain_up_to(gxfer);
                     if msgs.is_empty() {
                         self.host.stats.wasted_gathers.inc();
                     }
+                    let mut gathered = 0u64;
+                    let msg_count = msgs.len() as u32;
                     for msg in msgs {
+                        gathered += msg.wire_bytes() as u64;
                         self.host.stats.bytes_gathered.add(msg.wire_bytes() as u64);
                         let dest_rank = self.route_at_host(&msg);
                         self.host.enqueue_scatter(dest_rank, msg);
+                    }
+                    if let Some(tr) = sink(&mut self.trace) {
+                        tr.record(TraceRecord::span(
+                            cg.start,
+                            cg.end - cg.start,
+                            ComponentId::Host,
+                            TraceEvent::Gather {
+                                bytes: gathered,
+                                msgs: msg_count,
+                                wasted: msg_count == 0,
+                            },
+                        ));
                     }
                     if !self.units[u].pending_out.is_empty() {
                         self.flush_pending_out(u);
@@ -1348,16 +1647,46 @@ impl System {
             }
             for (u, msgs) in per_unit {
                 let bytes: u64 = msgs.iter().map(|m| m.wire_bytes() as u64).sum();
-                let start = self.rank_bus[r].free_at().max(self.channel[ch].free_at()).max(t);
-                let cg = self.channel[ch].reserve(start, bytes);
-                self.rank_bus[r].reserve(start, bytes);
+                let start = self.rank_bus[r]
+                    .free_at()
+                    .max(self.channel[ch].free_at())
+                    .max(t);
+                let cg = self.channel[ch].reserve_traced(
+                    start,
+                    bytes,
+                    ComponentId::Channel(ch as u32),
+                    sink(&mut self.trace),
+                );
+                self.rank_bus[r].reserve_traced(
+                    start,
+                    bytes,
+                    ComponentId::RankBus(r as u32),
+                    sink(&mut self.trace),
+                );
                 final_end = final_end.max(cg.end);
                 self.host.stats.scatters.inc();
                 self.host.stats.bytes_scattered.add(bytes);
-                self.units[u]
-                    .bank
-                    .access(cg.start, BORROW_ROW, bytes as u32, true, &timing);
-                self.comm_dram_bytes += bytes;
+                self.units[u].bank.access_traced(
+                    cg.start,
+                    BORROW_ROW,
+                    bytes as u32,
+                    true,
+                    &timing,
+                    ComponentId::Unit(u as u32),
+                    sink(&mut self.trace),
+                );
+                self.metrics.add(self.m.comm_dram_bytes, bytes);
+                if let Some(tr) = sink(&mut self.trace) {
+                    tr.record(TraceRecord::span(
+                        cg.start,
+                        cg.end - cg.start,
+                        ComponentId::Host,
+                        TraceEvent::Scatter {
+                            bytes,
+                            msgs: msgs.len() as u32,
+                        },
+                    ));
+                }
                 for msg in msgs {
                     self.q.schedule(cg.end, Ev::Deliver(u as u32, msg));
                 }
@@ -1381,9 +1710,87 @@ impl System {
         }
     }
 
-    // ---- finalize -------------------------------------------------------------
+    // ---- metrics + finalize ---------------------------------------------------
 
-    fn finalize(self) -> RunResult {
+    /// Refreshes the harvested gauges (component-owned counters) in the
+    /// registry so a snapshot sees a consistent picture.
+    fn harvest_metrics(&mut self) {
+        let mut tasks = 0u64;
+        let mut rerouted = 0u64;
+        let mut stalls = 0u64;
+        let mut hits = 0u64;
+        let mut overflows = 0u64;
+        for u in &self.units {
+            tasks += u.stats.tasks_executed.get();
+            rerouted += u.stats.tasks_rerouted.get();
+            stalls += u.stats.mailbox_stalls.get();
+            let (h, o) = u.reserved_stats();
+            hits += h;
+            overflows += o;
+        }
+        self.metrics.set(self.m.unit_tasks_executed, tasks);
+        self.metrics.set(self.m.unit_tasks_rerouted, rerouted);
+        self.metrics.set(self.m.unit_mailbox_stalls, stalls);
+        self.metrics.set(self.m.sketch_reserved_hits, hits);
+        self.metrics
+            .set(self.m.sketch_reserved_overflows, overflows);
+        let sum = |f: &dyn Fn(&RankBridge) -> u64| self.bridges.iter().map(f).sum::<u64>();
+        self.metrics
+            .set(self.m.bridge_gathers, sum(&|b| b.stats.gathers.get()));
+        self.metrics.set(
+            self.m.bridge_wasted_gathers,
+            sum(&|b| b.stats.wasted_gathers.get()),
+        );
+        self.metrics
+            .set(self.m.bridge_scatters, sum(&|b| b.stats.scatters.get()));
+        self.metrics.set(
+            self.m.bridge_bytes_gathered,
+            sum(&|b| b.stats.bytes_gathered.get()),
+        );
+        self.metrics.set(
+            self.m.bridge_bytes_scattered,
+            sum(&|b| b.stats.bytes_scattered.get()),
+        );
+        self.metrics
+            .set(self.m.bridge_lb_rounds, sum(&|b| b.stats.lb_rounds.get()));
+        self.metrics
+            .set(self.m.bridge_schedules, sum(&|b| b.stats.schedules.get()));
+        self.metrics.set(
+            self.m.host_bytes_gathered,
+            self.host.stats.bytes_gathered.get(),
+        );
+        self.metrics.set(
+            self.m.host_bytes_scattered,
+            self.host.stats.bytes_scattered.get(),
+        );
+        self.metrics
+            .set(self.m.host_lb_rounds, self.host.stats.lb_rounds.get());
+        self.metrics.set(
+            self.m.bus_rank_bytes,
+            self.rank_bus.iter().map(|b| b.bytes.get()).sum(),
+        );
+        self.metrics.set(
+            self.m.bus_channel_bytes,
+            self.channel.iter().map(|b| b.bytes.get()).sum(),
+        );
+    }
+
+    /// A bulk-synchronization barrier cleared: snapshot the metrics for
+    /// this epoch and note it in the trace.
+    fn note_epoch_advance(&mut self, new_epoch: Timestamp, now: SimTime) {
+        self.harvest_metrics();
+        self.metrics.set(self.m.epoch, new_epoch.0 as u64);
+        self.metrics.snapshot(format!("epoch-{}", new_epoch.0), now);
+        if let Some(tr) = sink(&mut self.trace) {
+            tr.record(TraceRecord::instant(
+                now,
+                ComponentId::Host,
+                TraceEvent::EpochAdvance { epoch: new_epoch.0 },
+            ));
+        }
+    }
+
+    fn finalize(mut self) -> RunResult {
         let mut finish = FinishTimes::default();
         let mut busy = FinishTimes::default();
         let mut per_unit_busy = Vec::with_capacity(self.units.len());
@@ -1400,6 +1807,15 @@ impl System {
             rerouted += u.stats.tasks_rerouted.get();
             local_bytes += u.stats.dram_local_bytes.get();
         }
+        self.harvest_metrics();
+        self.metrics.snapshot("final", makespan);
+        let trace = self
+            .trace
+            .take()
+            .map(|mut s| s.take_records())
+            .unwrap_or_default();
+        let comm_dram_bytes = self.metrics.get(self.m.comm_dram_bytes);
+        let sram_staged_bytes = self.metrics.get(self.m.sram_staged_bytes);
         let max_busy = busy.max();
         let avg_busy = busy.mean();
         let wait_fraction = if makespan == SimTime::ZERO {
@@ -1422,9 +1838,9 @@ impl System {
             .iter()
             .fold(SimTime::ZERO, |acc, u| acc + u.stats.busy.total());
         let energy = EnergyBreakdown {
-            core_sram_pj: e.core_pj(core_busy_total) + e.sram_pj(self.sram_staged_bytes),
+            core_sram_pj: e.core_pj(core_busy_total) + e.sram_pj(sram_staged_bytes),
             dram_local_pj: e.dram_pj(local_bytes),
-            dram_comm_pj: e.dram_pj(self.comm_dram_bytes)
+            dram_comm_pj: e.dram_pj(comm_dram_bytes)
                 + e.channel_pj(channel_bytes)
                 + e.rank_pj(rank_bus_bytes),
             static_pj: e.static_pj(
@@ -1447,17 +1863,19 @@ impl System {
             },
             tasks_executed: tasks,
             tasks_rerouted: rerouted,
-            messages_delivered: self.msgs_delivered,
+            messages_delivered: self.metrics.get(self.m.msgs_delivered),
             rank_bus_bytes,
             channel_bytes,
-            comm_dram_bytes: self.comm_dram_bytes,
+            comm_dram_bytes,
             local_dram_bytes: local_bytes,
             lb_rounds,
-            blocks_migrated: self.blocks_migrated,
+            blocks_migrated: self.metrics.get(self.m.blocks_migrated),
             energy,
             checksum: self.app.checksum(),
             events: self.q.popped(),
             per_unit_busy,
+            metrics: self.metrics.into_report(),
+            trace,
         }
     }
 }
@@ -1601,5 +2019,93 @@ mod tests {
         assert_eq!(r.tasks_executed, 0);
         assert_eq!(r.makespan, SimTime::ZERO);
         assert_eq!(r.balance, 1.0);
+        // No sink attached: the trace comes back empty, metrics still
+        // carry the final snapshot.
+        assert!(r.trace.is_empty());
+        assert_eq!(r.metrics.final_value("unit/tasks_executed"), Some(0));
+    }
+
+    /// Epoch-0 tasks on unit 0 that each spawn an epoch-1 child on the
+    /// far rank: forces mailbox traffic, bridge rounds and an epoch
+    /// barrier, i.e. every traced subsystem.
+    struct Fan {
+        map: AddressMap,
+    }
+
+    impl Application for Fan {
+        fn name(&self) -> &str {
+            "fan"
+        }
+        fn initial_tasks(&mut self) -> Vec<Task> {
+            (0..8)
+                .map(|i| {
+                    Task::new(
+                        TaskFnId(0),
+                        Timestamp(0),
+                        self.map.addr_in_unit(UnitId(0), 64 * i),
+                        3,
+                        TaskArgs::EMPTY,
+                    )
+                })
+                .collect()
+        }
+        fn execute(&mut self, t: &Task, ctx: &mut ExecCtx) {
+            ctx.compute(10);
+            ctx.read(t.data, 64);
+            if t.func.0 == 0 {
+                ctx.spawn(Task::new(
+                    TaskFnId(1),
+                    Timestamp(1),
+                    self.map.addr_in_unit(UnitId(70), t.data.0 % 512),
+                    3,
+                    TaskArgs::EMPTY,
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn traced_run_captures_bridge_mailbox_and_task_events() {
+        let mut cfg = SystemConfig::with_geometry(Geometry::with_total_ranks(2));
+        cfg.seed = 5;
+        let map = AddressMap::new(&cfg.geometry, cfg.g_xfer, cfg.timing.row_bytes);
+        let mut s = System::new(cfg, DesignPoint::O, Box::new(Fan { map }));
+        s.set_trace(Box::new(ndpb_trace::RingRecorder::new(1 << 16)));
+        let r = s.run();
+        assert_eq!(r.tasks_executed, 16);
+        let names: std::collections::HashSet<&str> =
+            r.trace.iter().map(|t| t.event.name()).collect();
+        for required in [
+            "task",
+            "gather",
+            "scatter",
+            "mailbox-enqueue",
+            "epoch",
+            "bus-transfer",
+        ] {
+            assert!(names.contains(required), "missing {required} in {names:?}");
+        }
+        // The metrics report agrees with the headline result fields and
+        // holds one snapshot per epoch barrier plus the final one.
+        assert_eq!(
+            r.metrics.final_value("system/msgs_delivered"),
+            Some(r.messages_delivered)
+        );
+        assert_eq!(
+            r.metrics.final_value("unit/tasks_executed"),
+            Some(r.tasks_executed)
+        );
+        let labels: Vec<&str> = r
+            .metrics
+            .snapshots
+            .iter()
+            .map(|s| s.label.as_str())
+            .collect();
+        assert!(labels.contains(&"epoch-1"), "snapshots: {labels:?}");
+        assert_eq!(labels.last(), Some(&"final"));
+        // Chrome export of a real trace is structurally valid JSON.
+        let json = ndpb_trace::chrome_trace_string(&r.trace);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -157,7 +157,12 @@ impl NdpUnit {
 
     /// Releases parked tasks of `epoch` into the ready queue; returns
     /// how many were released.
-    pub fn release_epoch(&mut self, epoch: Timestamp, hot_tracking: bool, map: &AddressMap) -> usize {
+    pub fn release_epoch(
+        &mut self,
+        epoch: Timestamp,
+        hot_tracking: bool,
+        map: &AddressMap,
+    ) -> usize {
         let Some(tasks) = self.future.remove(&epoch.0) else {
             return 0;
         };
@@ -205,6 +210,13 @@ impl NdpUnit {
     /// Number of ready + reserved tasks.
     pub fn queued_tasks(&self) -> usize {
         self.task_queue.len() + self.reserved.total_tasks()
+    }
+
+    /// Lifetime `(hits, overflows)` of the reserved queue: tasks parked
+    /// behind the sketch vs. bounced to the ready queue on pool
+    /// exhaustion (reported by the metrics registry).
+    pub fn reserved_stats(&self) -> (u64, u64) {
+        (self.reserved.hits(), self.reserved.overflows())
     }
 
     /// Number of parked future-epoch tasks.

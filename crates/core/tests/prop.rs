@@ -1,24 +1,29 @@
-//! Property-based tests for the core metadata structures and epoch
-//! tracker, checked against reference models.
+//! Randomized tests for the core metadata structures and epoch
+//! tracker, checked against reference models and driven by the in-repo
+//! deterministic `SimRng`.
 
 use ndpb_core::epoch::EpochTracker;
 use ndpb_core::metadata::{LentBitmap, LruTable};
 use ndpb_dram::BlockAddr;
+use ndpb_sim::SimRng;
 use ndpb_tasks::Timestamp;
-use proptest::prelude::*;
 
-proptest! {
-    /// The LRU table agrees with a brute-force reference model on
-    /// membership, size and eviction choice.
-    #[test]
-    fn lru_matches_reference(
-        ops in prop::collection::vec((0u64..32, 0u8..3), 1..300),
-        cap in 1usize..16,
-    ) {
+const CASES: usize = 64;
+
+/// The LRU table agrees with a brute-force reference model on
+/// membership, size and eviction choice.
+#[test]
+fn lru_matches_reference() {
+    let mut rng = SimRng::new(0xC0DE_0001);
+    for _ in 0..CASES {
+        let cap = 1 + rng.next_index(15);
+        let n_ops = 1 + rng.next_index(299);
         let mut t: LruTable<u64, u64> = LruTable::new(cap);
         // Reference: Vec of (key, value) ordered by recency (front = LRU).
         let mut model: Vec<(u64, u64)> = Vec::new();
-        for (key, op) in ops {
+        for _ in 0..n_ops {
+            let key = rng.next_below(32);
+            let op = rng.next_below(3) as u8;
             match op {
                 0 => {
                     // insert key -> key*10
@@ -26,14 +31,14 @@ proptest! {
                     if let Some(pos) = model.iter().position(|(k, _)| *k == key) {
                         model.remove(pos);
                         model.push((key, key * 10));
-                        prop_assert!(evicted.is_none());
+                        assert!(evicted.is_none());
                     } else {
                         model.push((key, key * 10));
                         if model.len() > cap {
                             let lru = model.remove(0);
-                            prop_assert_eq!(evicted, Some(lru));
+                            assert_eq!(evicted, Some(lru));
                         } else {
-                            prop_assert!(evicted.is_none());
+                            assert!(evicted.is_none());
                         }
                     }
                 }
@@ -45,7 +50,7 @@ proptest! {
                         model.push(e);
                         v
                     });
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
                 _ => {
                     let got = t.remove(&key);
@@ -53,35 +58,44 @@ proptest! {
                         .iter()
                         .position(|(k, _)| *k == key)
                         .map(|pos| model.remove(pos).1);
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
             }
-            prop_assert_eq!(t.len(), model.len());
+            assert_eq!(t.len(), model.len());
         }
     }
+}
 
-    /// Lent bitmap behaves as a set.
-    #[test]
-    fn lent_bitmap_is_a_set(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+/// Lent bitmap behaves as a set.
+#[test]
+fn lent_bitmap_is_a_set() {
+    let mut rng = SimRng::new(0xC0DE_0002);
+    for _ in 0..CASES {
+        let n_ops = 1 + rng.next_index(199);
         let mut b = LentBitmap::new();
         let mut model = std::collections::HashSet::new();
-        for (block, set) in ops {
-            let block = BlockAddr(block);
-            if set {
-                prop_assert_eq!(b.set(block), model.insert(block));
+        for _ in 0..n_ops {
+            let block = BlockAddr(rng.next_below(64));
+            if rng.chance(0.5) {
+                assert_eq!(b.set(block), model.insert(block));
             } else {
-                prop_assert_eq!(b.clear(block), model.remove(&block));
+                assert_eq!(b.clear(block), model.remove(&block));
             }
-            prop_assert_eq!(b.count(), model.len());
-            prop_assert_eq!(b.is_lent(block), model.contains(&block));
+            assert_eq!(b.count(), model.len());
+            assert_eq!(b.is_lent(block), model.contains(&block));
         }
     }
+}
 
-    /// Epoch tracker: spawning tasks across epochs and completing them
-    /// in epoch order always terminates with `all_done`, and the current
-    /// epoch only ever increases.
-    #[test]
-    fn epochs_always_drain(counts in prop::collection::vec(0u64..10, 1..10)) {
+/// Epoch tracker: spawning tasks across epochs and completing them
+/// in epoch order always terminates with `all_done`, and the current
+/// epoch only ever increases.
+#[test]
+fn epochs_always_drain() {
+    let mut rng = SimRng::new(0xC0DE_0003);
+    for _ in 0..CASES {
+        let n_epochs = 1 + rng.next_index(9);
+        let counts: Vec<u64> = (0..n_epochs).map(|_| rng.next_below(10)).collect();
         let mut t = EpochTracker::new();
         let mut total = 0u64;
         for (e, &n) in counts.iter().enumerate() {
@@ -90,17 +104,17 @@ proptest! {
                 total += 1;
             }
         }
-        prop_assert_eq!(t.total_outstanding(), total);
+        assert_eq!(t.total_outstanding(), total);
         let mut last_epoch = 0u32;
         for (e, &n) in counts.iter().enumerate() {
             for _ in 0..n {
-                prop_assert!(t.is_ready(Timestamp(e as u32)));
+                assert!(t.is_ready(Timestamp(e as u32)));
                 if let Some(next) = t.completed(Timestamp(e as u32)) {
-                    prop_assert!(next.0 > last_epoch);
+                    assert!(next.0 > last_epoch);
                     last_epoch = next.0;
                 }
             }
         }
-        prop_assert!(t.all_done());
+        assert!(t.all_done());
     }
 }

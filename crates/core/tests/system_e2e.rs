@@ -120,7 +120,7 @@ impl Application for HopChain {
         ctx.enqueue_task(
             TaskFnId(0),
             task.ts,
-            DataAddr(next_unit * self.bank_bytes + chain as u64 * 64),
+            DataAddr(next_unit * self.bank_bytes + chain * 64),
             20,
             TaskArgs::two(remaining - 1, chain),
         );
@@ -375,7 +375,11 @@ fn wait_fraction_bounded() {
     let c = small_config();
     let app = HopChain::new(&c, 16, 16);
     let r = System::new(c, DesignPoint::C, Box::new(app)).run();
-    assert!((0.0..=1.0).contains(&r.wait_fraction), "{}", r.wait_fraction);
+    assert!(
+        (0.0..=1.0).contains(&r.wait_fraction),
+        "{}",
+        r.wait_fraction
+    );
     assert!((0.0..=1.0).contains(&r.balance));
     assert!(r.avg_unit_time <= r.makespan);
 }

@@ -156,7 +156,12 @@ fn migration_spreads_piled_work() {
     };
     let b = mk(DesignPoint::B);
     let o = mk(DesignPoint::O);
-    assert!(o.makespan < b.makespan, "O {} vs B {}", o.makespan, b.makespan);
+    assert!(
+        o.makespan < b.makespan,
+        "O {} vs B {}",
+        o.makespan,
+        b.makespan
+    );
     assert!(o.busy_gini() < b.busy_gini(), "Gini must drop under O");
 }
 
@@ -174,7 +179,13 @@ fn rowclone_handles_intra_chip_fanout() {
             "same-chip"
         }
         fn initial_tasks(&mut self) -> Vec<Task> {
-            vec![Task::new(TaskFnId(0), Timestamp(0), DataAddr(0), 10, TaskArgs::EMPTY)]
+            vec![Task::new(
+                TaskFnId(0),
+                Timestamp(0),
+                DataAddr(0),
+                10,
+                TaskArgs::EMPTY,
+            )]
         }
         fn execute(&mut self, task: &Task, ctx: &mut ExecCtx) {
             ctx.compute(10);
@@ -242,7 +253,13 @@ fn dimm_link_bypasses_channel_for_cross_rank_traffic() {
                 "cross-rank"
             }
             fn initial_tasks(&mut self) -> Vec<Task> {
-                vec![Task::new(TaskFnId(0), Timestamp(0), DataAddr(0), 10, TaskArgs::EMPTY)]
+                vec![Task::new(
+                    TaskFnId(0),
+                    Timestamp(0),
+                    DataAddr(0),
+                    10,
+                    TaskArgs::EMPTY,
+                )]
             }
             fn execute(&mut self, task: &Task, ctx: &mut ExecCtx) {
                 ctx.compute(10);

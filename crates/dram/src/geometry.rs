@@ -128,7 +128,7 @@ impl Geometry {
     /// two channels where divisible, else a single channel.
     pub fn with_total_ranks(ranks: u32) -> Self {
         assert!(ranks > 0, "need at least one rank");
-        let (channels, ranks_per_channel) = if ranks % 2 == 0 {
+        let (channels, ranks_per_channel) = if ranks.is_multiple_of(2) {
             (2, ranks / 2)
         } else {
             (1, ranks)
@@ -232,9 +232,8 @@ impl Geometry {
         let base = rank.0 * self.units_per_rank();
         let banks = self.banks_per_chip;
         let chips = self.chips_per_rank;
-        (0..banks).flat_map(move |bank| {
-            (0..chips).map(move |chip| UnitId(base + chip * banks + bank))
-        })
+        (0..banks)
+            .flat_map(move |bank| (0..chips).map(move |chip| UnitId(base + chip * banks + bank)))
     }
 
     /// All units in the system.

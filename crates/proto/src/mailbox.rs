@@ -8,6 +8,9 @@
 
 use std::collections::VecDeque;
 
+use ndpb_sim::SimTime;
+use ndpb_trace::{ComponentId, TraceEvent, TraceRecord, TraceSink};
+
 use crate::message::Message;
 
 /// Error returned when a mailbox has no room for a message; the caller
@@ -56,6 +59,10 @@ pub struct Mailbox {
     peak_bytes: u64,
     /// Count of enqueues rejected because the region was full.
     stalls: u64,
+    /// Latch for the full-mailbox trace event: set on the first rejected
+    /// enqueue of a full episode, cleared when space frees. Keeps the
+    /// traced paths from emitting one event per retry.
+    full_latched: bool,
 }
 
 impl Mailbox {
@@ -67,6 +74,7 @@ impl Mailbox {
             used_bytes: 0,
             peak_bytes: 0,
             stalls: 0,
+            full_latched: false,
         }
     }
 
@@ -81,12 +89,53 @@ impl Mailbox {
         let free = self.capacity_bytes - self.used_bytes;
         if (needed as u64) > free {
             self.stalls += 1;
+            self.full_latched = true;
             return Err(MailboxFull { needed, free });
         }
         self.used_bytes += needed as u64;
         self.peak_bytes = self.peak_bytes.max(self.used_bytes);
         self.queue.push_back(msg);
+        self.full_latched = false;
         Ok(())
+    }
+
+    /// [`push`](Self::push) with a trace hook: emits
+    /// [`TraceEvent::MailboxEnqueue`] on success, and on failure a
+    /// [`TraceEvent::MailboxFull`] — but only for the *first* rejection
+    /// of a full episode (latched until space frees), so one stall
+    /// produces exactly one event no matter how often it is retried.
+    pub fn push_traced(
+        &mut self,
+        msg: Message,
+        now: SimTime,
+        comp: ComponentId,
+        trace: Option<&mut dyn TraceSink>,
+    ) -> Result<(), MailboxFull> {
+        let was_latched = self.full_latched;
+        let needed = msg.wire_bytes();
+        let res = self.push(msg);
+        if let Some(t) = trace {
+            match &res {
+                Ok(()) => t.record(TraceRecord::instant(
+                    now,
+                    comp,
+                    TraceEvent::MailboxEnqueue {
+                        bytes: needed,
+                        used: self.used_bytes,
+                    },
+                )),
+                Err(_) if !was_latched => t.record(TraceRecord::instant(
+                    now,
+                    comp,
+                    TraceEvent::MailboxFull {
+                        needed,
+                        used: self.used_bytes,
+                    },
+                )),
+                Err(_) => {}
+            }
+        }
+        res
     }
 
     /// Like [`Mailbox::push`], but hands the message back on failure
@@ -95,12 +144,50 @@ impl Mailbox {
         let needed = msg.wire_bytes();
         if (needed as u64) > self.capacity_bytes - self.used_bytes {
             self.stalls += 1;
+            self.full_latched = true;
             return Some(msg);
         }
         self.used_bytes += needed as u64;
         self.peak_bytes = self.peak_bytes.max(self.used_bytes);
         self.queue.push_back(msg);
+        self.full_latched = false;
         None
+    }
+
+    /// [`try_push`](Self::try_push) with a trace hook; same once-per-stall
+    /// latching as [`push_traced`](Self::push_traced).
+    pub fn try_push_traced(
+        &mut self,
+        msg: Message,
+        now: SimTime,
+        comp: ComponentId,
+        trace: Option<&mut dyn TraceSink>,
+    ) -> Option<Message> {
+        let was_latched = self.full_latched;
+        let needed = msg.wire_bytes();
+        let res = self.try_push(msg);
+        if let Some(t) = trace {
+            match &res {
+                None => t.record(TraceRecord::instant(
+                    now,
+                    comp,
+                    TraceEvent::MailboxEnqueue {
+                        bytes: needed,
+                        used: self.used_bytes,
+                    },
+                )),
+                Some(_) if !was_latched => t.record(TraceRecord::instant(
+                    now,
+                    comp,
+                    TraceEvent::MailboxFull {
+                        needed,
+                        used: self.used_bytes,
+                    },
+                )),
+                Some(_) => {}
+            }
+        }
+        res
     }
 
     /// Pops messages from the head until up to `budget_bytes` have been
@@ -120,6 +207,9 @@ impl Mailbox {
             if drained >= budget_bytes {
                 break;
             }
+        }
+        if !out.is_empty() {
+            self.full_latched = false;
         }
         out
     }

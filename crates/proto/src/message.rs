@@ -97,7 +97,13 @@ mod tests {
     use ndpb_tasks::{TaskArgs, TaskFnId, Timestamp};
 
     fn task() -> Task {
-        Task::new(TaskFnId(1), Timestamp(0), DataAddr(64), 10, TaskArgs::one(5))
+        Task::new(
+            TaskFnId(1),
+            Timestamp(0),
+            DataAddr(64),
+            10,
+            TaskArgs::one(5),
+        )
     }
 
     #[test]

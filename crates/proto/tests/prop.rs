@@ -1,46 +1,54 @@
-//! Property-based tests for mailboxes and message accounting.
+//! Randomized tests for mailboxes and message accounting, driven by the
+//! in-repo deterministic `SimRng`.
 
 use ndpb_dram::{BlockAddr, DataAddr};
 use ndpb_proto::message::DataMessage;
 use ndpb_proto::{Mailbox, Message};
+use ndpb_sim::SimRng;
 use ndpb_tasks::{Task, TaskArgs, TaskFnId, Timestamp};
-use proptest::prelude::*;
 
-fn arb_message() -> impl Strategy<Value = Message> {
-    prop_oneof![
-        (0u16..8, 0u32..4, 0u64..(1 << 30), 0u32..1000).prop_map(|(f, ts, addr, wl)| {
-            Message::Task(
-                Task::new(
-                    TaskFnId(f),
-                    Timestamp(ts),
-                    DataAddr(addr),
-                    wl,
-                    TaskArgs::one(7),
-                ),
-                false,
-            )
-        }),
-        (0u64..1000, 1u32..1024, 0u64..100).prop_map(|(b, bytes, wl)| {
-            Message::Data(
-                DataMessage {
-                    block: BlockAddr(b),
-                    bytes,
-                    workload: wl,
-                },
-                None,
-            )
-        }),
-    ]
+const CASES: usize = 64;
+
+fn arb_message(rng: &mut SimRng) -> Message {
+    if rng.chance(0.5) {
+        Message::Task(
+            Task::new(
+                TaskFnId(rng.next_below(8) as u16),
+                Timestamp(rng.next_below(4) as u32),
+                DataAddr(rng.next_below(1 << 30)),
+                rng.next_below(1000) as u32,
+                TaskArgs::one(7),
+            ),
+            false,
+        )
+    } else {
+        Message::Data(
+            DataMessage {
+                block: BlockAddr(rng.next_below(1000)),
+                bytes: 1 + rng.next_below(1023) as u32,
+                workload: rng.next_below(100),
+            },
+            None,
+        )
+    }
 }
 
-proptest! {
-    /// Byte accounting is conserved: used = pushed − drained, and never
-    /// exceeds capacity.
-    #[test]
-    fn mailbox_conserves_bytes(
-        msgs in prop::collection::vec(arb_message(), 1..100),
-        budgets in prop::collection::vec(1u32..2048, 1..50),
-    ) {
+fn arb_messages(rng: &mut SimRng, max: usize) -> Vec<Message> {
+    let n = 1 + rng.next_index(max - 1);
+    (0..n).map(|_| arb_message(rng)).collect()
+}
+
+/// Byte accounting is conserved: used = pushed − drained, and never
+/// exceeds capacity.
+#[test]
+fn mailbox_conserves_bytes() {
+    let mut rng = SimRng::new(0x9070_0001);
+    for _ in 0..CASES {
+        let msgs = arb_messages(&mut rng, 100);
+        let n_budgets = 1 + rng.next_index(49);
+        let budgets: Vec<u32> = (0..n_budgets)
+            .map(|_| 1 + rng.next_below(2047) as u32)
+            .collect();
         let mut mb = Mailbox::new(64 << 10);
         let mut pushed = 0u64;
         let mut accepted = 0u64;
@@ -50,7 +58,7 @@ proptest! {
                 pushed += sz;
                 accepted += 1;
             }
-            prop_assert!(mb.bytes_used() <= mb.capacity());
+            assert!(mb.bytes_used() <= mb.capacity());
         }
         let mut drained_bytes = 0u64;
         let mut drained = 0u64;
@@ -60,16 +68,18 @@ proptest! {
                 drained += 1;
             }
         }
-        prop_assert_eq!(mb.bytes_used(), pushed - drained_bytes);
-        prop_assert_eq!(mb.len() as u64, accepted - drained);
+        assert_eq!(mb.bytes_used(), pushed - drained_bytes);
+        assert_eq!(mb.len() as u64, accepted - drained);
     }
+}
 
-    /// Drain order equals push order (FIFO), regardless of budgets.
-    #[test]
-    fn mailbox_is_fifo(
-        msgs in prop::collection::vec(arb_message(), 1..60),
-        budget in 1u32..512,
-    ) {
+/// Drain order equals push order (FIFO), regardless of budgets.
+#[test]
+fn mailbox_is_fifo() {
+    let mut rng = SimRng::new(0x9070_0002);
+    for _ in 0..CASES {
+        let msgs = arb_messages(&mut rng, 60);
+        let budget = 1 + rng.next_below(511) as u32;
         let mut mb = Mailbox::new(1 << 20);
         for m in &msgs {
             mb.push(m.clone()).unwrap();
@@ -78,41 +88,49 @@ proptest! {
         while !mb.is_empty() {
             out.extend(mb.drain_up_to(budget));
         }
-        prop_assert_eq!(out, msgs);
+        assert_eq!(out, msgs);
     }
+}
 
-    /// try_push never loses a message: it is either queued or returned.
-    #[test]
-    fn try_push_never_drops(msgs in prop::collection::vec(arb_message(), 1..100)) {
+/// try_push never loses a message: it is either queued or returned.
+#[test]
+fn try_push_never_drops() {
+    let mut rng = SimRng::new(0x9070_0003);
+    for _ in 0..CASES {
+        let msgs = arb_messages(&mut rng, 100);
         let mut mb = Mailbox::new(512);
         let mut kept = 0usize;
         let mut returned = 0usize;
-        for m in msgs.iter().cloned() {
+        for m in msgs.clone() {
             match mb.try_push(m.clone()) {
                 None => kept += 1,
                 Some(back) => {
-                    prop_assert_eq!(back, m);
+                    assert_eq!(back, m);
                     returned += 1;
                 }
             }
         }
-        prop_assert_eq!(kept + returned, msgs.len());
-        prop_assert_eq!(mb.len(), kept);
+        assert_eq!(kept + returned, msgs.len());
+        assert_eq!(mb.len(), kept);
     }
+}
 
-    /// Wire sizes respect the 64 B sub-message format: task messages fit
-    /// one message, data messages cost payload plus per-sub-message
-    /// headers.
-    #[test]
-    fn wire_bytes_bounds(m in arb_message()) {
+/// Wire sizes respect the 64 B sub-message format: task messages fit
+/// one message, data messages cost payload plus per-sub-message
+/// headers.
+#[test]
+fn wire_bytes_bounds() {
+    let mut rng = SimRng::new(0x9070_0004);
+    for _ in 0..512 {
+        let m = arb_message(&mut rng);
         let sz = m.wire_bytes();
         match &m {
-            Message::Task(..) => prop_assert!(sz <= 64),
+            Message::Task(..) => assert!(sz <= 64),
             Message::Data(d, _) => {
-                prop_assert!(sz > d.bytes);
+                assert!(sz > d.bytes);
                 // Overhead is bounded by one header per 54-byte chunk.
                 let subs = d.bytes.div_ceil(54).max(1);
-                prop_assert!(sz <= d.bytes + subs * 10);
+                assert!(sz <= d.bytes + subs * 10);
             }
             Message::State(_) => {}
         }

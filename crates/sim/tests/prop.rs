@@ -1,74 +1,109 @@
-//! Property-based tests for the simulation kernel.
+//! Randomized property tests for the simulation kernel, driven by the
+//! in-repo deterministic `SimRng` (no external dependencies, so the
+//! workspace builds offline).
 
 use ndpb_sim::{EventQueue, SimRng, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    /// The queue pops events in (time, insertion) order — i.e. exactly
-    /// a stable sort by timestamp.
-    #[test]
-    fn event_queue_matches_stable_sort(times in prop::collection::vec(0u64..1000, 1..200)) {
+const CASES: usize = 64;
+
+/// The queue pops events in (time, insertion) order — i.e. exactly
+/// a stable sort by timestamp.
+#[test]
+fn event_queue_matches_stable_sort() {
+    let mut rng = SimRng::new(0x5EED_0001);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_index(199);
+        let times: Vec<u64> = (0..n).map(|_| rng.next_below(1000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_ticks(t), i);
         }
-        let mut expected: Vec<(u64, usize)> =
-            times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+        let mut expected: Vec<(u64, usize)> = times
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, t)| (t, i))
+            .collect();
         expected.sort_by_key(|&(t, i)| (t, i));
         let mut got = Vec::new();
         while let Some((t, i)) = q.pop() {
             got.push((t.ticks(), i));
         }
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    /// The clock never moves backwards.
-    #[test]
-    fn clock_is_monotone(times in prop::collection::vec(0u64..10_000, 1..200)) {
+/// The clock never moves backwards.
+#[test]
+fn clock_is_monotone() {
+    let mut rng = SimRng::new(0x5EED_0002);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_index(199);
         let mut q = EventQueue::new();
-        for &t in &times {
-            q.schedule(SimTime::from_ticks(t), ());
+        for _ in 0..n {
+            q.schedule(SimTime::from_ticks(rng.next_below(10_000)), ());
         }
         let mut last = SimTime::ZERO;
         while let Some((t, ())) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
         }
     }
+}
 
-    /// `next_below` stays in range for arbitrary seeds and bounds.
-    #[test]
-    fn rng_next_below_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+/// `next_below` stays in range for arbitrary seeds and bounds.
+#[test]
+fn rng_next_below_in_range() {
+    let mut meta = SimRng::new(0x5EED_0003);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let bound = 1 + meta.next_below(u64::MAX - 1);
         let mut rng = SimRng::new(seed);
         for _ in 0..64 {
-            prop_assert!(rng.next_below(bound) < bound);
+            assert!(rng.next_below(bound) < bound);
         }
     }
+}
 
-    /// Shuffling preserves the multiset.
-    #[test]
-    fn shuffle_is_permutation(seed in any::<u64>(), mut v in prop::collection::vec(any::<u32>(), 0..100)) {
+/// Shuffling preserves the multiset.
+#[test]
+fn shuffle_is_permutation() {
+    let mut meta = SimRng::new(0x5EED_0004);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let len = meta.next_index(100);
+        let mut v: Vec<u32> = (0..len).map(|_| meta.next_u64() as u32).collect();
         let mut rng = SimRng::new(seed);
         let mut orig = v.clone();
         rng.shuffle(&mut v);
         orig.sort_unstable();
         v.sort_unstable();
-        prop_assert_eq!(orig, v);
+        assert_eq!(orig, v);
     }
+}
 
-    /// Time conversions: core cycles round-trip through ticks.
-    #[test]
-    fn core_cycle_round_trip(cycles in 0u64..(1 << 40)) {
+/// Time conversions: core cycles round-trip through ticks.
+#[test]
+fn core_cycle_round_trip() {
+    let mut rng = SimRng::new(0x5EED_0005);
+    for _ in 0..256 {
+        let cycles = rng.next_below(1 << 40);
         let t = SimTime::from_core_cycles(cycles);
-        prop_assert_eq!(t.core_cycles(), cycles);
+        assert_eq!(t.core_cycles(), cycles);
     }
+    // Edges.
+    assert_eq!(SimTime::from_core_cycles(0).core_cycles(), 0);
+}
 
-    /// ns conversion never under-estimates (rounds up).
-    #[test]
-    fn ns_ceil_is_conservative(ns in 0u64..(1 << 40)) {
+/// ns conversion never under-estimates (rounds up).
+#[test]
+fn ns_ceil_is_conservative() {
+    let mut rng = SimRng::new(0x5EED_0006);
+    for _ in 0..256 {
+        let ns = rng.next_below(1 << 40);
         let t = SimTime::from_ns_ceil(ns);
-        prop_assert!(t.as_ns() >= ns as f64 - 1e-6);
+        assert!(t.as_ns() >= ns as f64 - 1e-6);
         // And overshoots by less than one tick.
-        prop_assert!(t.as_ns() < ns as f64 + 0.42);
+        assert!(t.as_ns() < ns as f64 + 0.42);
     }
 }

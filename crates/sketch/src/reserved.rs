@@ -25,6 +25,8 @@ pub struct ReservedQueue<T> {
     tasks_per_chunk: usize,
     lists: HashMap<u64, Vec<T>>,
     chunks_used: usize,
+    hits: u64,
+    overflows: u64,
 }
 
 impl<T> ReservedQueue<T> {
@@ -41,6 +43,8 @@ impl<T> ReservedQueue<T> {
             tasks_per_chunk,
             lists: HashMap::new(),
             chunks_used: 0,
+            hits: 0,
+            overflows: 0,
         }
     }
 
@@ -71,11 +75,25 @@ impl<T> ReservedQueue<T> {
         let new_chunks = self.chunks_for(cur_len + 1);
         let extra = new_chunks - cur_chunks;
         if self.chunks_used + extra > self.chunk_pool {
+            self.overflows += 1;
             return Err(task);
         }
         self.chunks_used += extra;
         self.lists.entry(key).or_default().push(task);
+        self.hits += 1;
         Ok(())
+    }
+
+    /// Tasks successfully parked over the queue's lifetime (the
+    /// reserved-queue *hit* count the metrics registry reports).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Tasks bounced to the normal queue because the chunk pool was
+    /// exhausted.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
     }
 
     /// Removes and returns all tasks parked under `key`, freeing its
@@ -163,6 +181,8 @@ mod tests {
         // Appending to an existing key that needs a new chunk also fails.
         let back = q.reserve(1, 'd');
         assert_eq!(back, Err('d'));
+        assert_eq!(q.hits(), 2);
+        assert_eq!(q.overflows(), 2);
     }
 
     #[test]

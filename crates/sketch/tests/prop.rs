@@ -1,92 +1,100 @@
-//! Property-based tests for the hot-data sketch and reserved queue.
+//! Randomized tests for the hot-data sketch and reserved queue, driven
+//! by the in-repo deterministic `SimRng`.
 
 use ndpb_sim::SimRng;
 use ndpb_sketch::{HotSketch, ReservedQueue, SketchConfig};
-use proptest::prelude::*;
 
-proptest! {
-    /// The sketch never tracks more entries than its geometry allows.
-    #[test]
-    fn sketch_respects_capacity(
-        keys in prop::collection::vec((0u64..100, 1u64..50), 1..500),
-        buckets in 1usize..8,
-        entries in 1usize..8,
-        seed in any::<u64>(),
-    ) {
+const CASES: usize = 48;
+
+/// The sketch never tracks more entries than its geometry allows.
+#[test]
+fn sketch_respects_capacity() {
+    let mut meta = SimRng::new(0x5C47_0001);
+    for _ in 0..CASES {
+        let buckets = 1 + meta.next_index(7);
+        let entries = 1 + meta.next_index(7);
+        let n = 1 + meta.next_index(499);
         let mut s = HotSketch::new(SketchConfig::with_geometry(buckets, entries));
-        let mut rng = SimRng::new(seed);
-        for (k, w) in keys {
+        let mut rng = SimRng::new(meta.next_u64());
+        for _ in 0..n {
+            let k = meta.next_below(100);
+            let w = 1 + meta.next_below(49);
             s.record(k, w, &mut rng);
-            prop_assert!(s.len() <= buckets * entries);
+            assert!(s.len() <= buckets * entries);
         }
     }
+}
 
-    /// Without bucket pressure, the sketch counts exactly.
-    #[test]
-    fn sketch_exact_when_uncontended(
-        updates in prop::collection::vec((0u64..8, 1u64..100), 1..200),
-        seed in any::<u64>(),
-    ) {
+/// Without bucket pressure, the sketch counts exactly.
+#[test]
+fn sketch_exact_when_uncontended() {
+    let mut meta = SimRng::new(0x5C47_0002);
+    for _ in 0..CASES {
         // 8 keys over 1x16: one bucket, never full.
         let mut s = HotSketch::new(SketchConfig::with_geometry(1, 16));
-        let mut rng = SimRng::new(seed);
+        let mut rng = SimRng::new(meta.next_u64());
+        let n = 1 + meta.next_index(199);
         let mut truth = std::collections::HashMap::new();
-        for (k, w) in updates {
+        for _ in 0..n {
+            let k = meta.next_below(8);
+            let w = 1 + meta.next_below(99);
             s.record(k, w, &mut rng);
             *truth.entry(k).or_insert(0u64) += w;
         }
         for (k, w) in truth {
-            prop_assert_eq!(s.get(k), Some(w));
+            assert_eq!(s.get(k), Some(w));
         }
     }
+}
 
-    /// pop_hottest returns entries in non-increasing workload order when
-    /// the sketch is drained without new inserts.
-    #[test]
-    fn pop_hottest_is_sorted(
-        keys in prop::collection::vec(1u64..1000, 1..50),
-        seed in any::<u64>(),
-    ) {
+/// pop_hottest returns entries in non-increasing workload order when
+/// the sketch is drained without new inserts.
+#[test]
+fn pop_hottest_is_sorted() {
+    let mut meta = SimRng::new(0x5C47_0003);
+    for _ in 0..CASES {
         let mut s = HotSketch::new(SketchConfig::paper());
-        let mut rng = SimRng::new(seed);
-        for (i, &k) in keys.iter().enumerate() {
+        let mut rng = SimRng::new(meta.next_u64());
+        let n = 1 + meta.next_index(49);
+        for i in 0..n {
+            let k = 1 + meta.next_below(999);
             s.record(k, (i as u64 % 17) + 1, &mut rng);
         }
         let mut prev = u64::MAX;
         while let Some((_, w)) = s.pop_hottest() {
-            prop_assert!(w <= prev);
+            assert!(w <= prev);
             prev = w;
         }
     }
+}
 
-    /// Chunk accounting: chunks in use always equal the sum of each
-    /// list's ceil(len / tasks_per_chunk), and never exceed the pool.
-    #[test]
-    fn reserved_queue_chunk_invariant(
-        ops in prop::collection::vec((0u64..16, any::<bool>()), 1..300),
-        pool in 1usize..32,
-        per_chunk in 1usize..8,
-    ) {
+/// Chunk accounting: chunks in use always equal the sum of each
+/// list's ceil(len / tasks_per_chunk), and never exceed the pool.
+#[test]
+fn reserved_queue_chunk_invariant() {
+    let mut rng = SimRng::new(0x5C47_0004);
+    for _ in 0..CASES {
+        let pool = 1 + rng.next_index(31);
+        let per_chunk = 1 + rng.next_index(7);
+        let n_ops = 1 + rng.next_index(299);
         let mut q: ReservedQueue<u32> = ReservedQueue::new(pool, per_chunk);
         let mut model: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
-        for (key, insert) in ops {
-            if insert {
+        for _ in 0..n_ops {
+            let key = rng.next_below(16);
+            if rng.chance(0.5) {
                 if q.reserve(key, 0).is_ok() {
                     *model.entry(key).or_insert(0) += 1;
                 }
             } else {
                 let got = q.take(key);
                 let want = model.remove(&key).unwrap_or(0);
-                prop_assert_eq!(got.len(), want);
+                assert_eq!(got.len(), want);
             }
-            let expect_chunks: usize = model
-                .values()
-                .map(|&n| n.div_ceil(per_chunk).max(1))
-                .sum();
-            prop_assert_eq!(q.chunks_used(), expect_chunks);
-            prop_assert!(q.chunks_used() <= pool);
+            let expect_chunks: usize = model.values().map(|&n| n.div_ceil(per_chunk).max(1)).sum();
+            assert_eq!(q.chunks_used(), expect_chunks);
+            assert!(q.chunks_used() <= pool);
             let expect_tasks: usize = model.values().sum();
-            prop_assert_eq!(q.total_tasks(), expect_tasks);
+            assert_eq!(q.total_tasks(), expect_tasks);
         }
     }
 }

@@ -79,7 +79,8 @@ impl ExecCtx {
         est_workload: u32,
         args: TaskArgs,
     ) {
-        self.spawned.push(Task::new(func, ts, addr, est_workload, args));
+        self.spawned
+            .push(Task::new(func, ts, addr, est_workload, args));
     }
 
     /// Spawns an already-built child task.

@@ -1,0 +1,210 @@
+//! Hand-rolled Chrome `trace_event` JSON writer.
+//!
+//! Emits the ["JSON Array Format" with a `traceEvents`
+//! envelope](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! understood by `chrome://tracing` and <https://ui.perfetto.dev>. No
+//! serde: the schema is small and fixed, so the writer is ~100 lines of
+//! `write!` — the same approach as `RunResult::to_json`.
+//!
+//! Mapping: each [`ComponentId`] kind becomes a Chrome *process*
+//! (`pid`, named via `process_name` metadata) and each instance a
+//! *thread* (`tid`). Records with a duration become `"X"` complete
+//! events; instants become `"i"` events with thread scope. Timestamps
+//! are microseconds (simulated), durations likewise.
+
+use crate::event::{TraceEvent, TraceRecord};
+use std::io::{self, Write};
+
+/// Serialize `records` as a complete Chrome trace JSON document.
+///
+/// The document is self-contained (`{"traceEvents":[...]}`), so the
+/// output file loads directly in a trace viewer.
+pub fn write_chrome_trace<W: Write>(w: &mut W, records: &[TraceRecord]) -> io::Result<()> {
+    writeln!(w, "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")?;
+    let mut first = true;
+
+    // One process_name metadata event per component kind present.
+    let mut kinds_seen = [false; 7];
+    for r in records {
+        let pid = r.comp.pid() as usize;
+        if !kinds_seen[pid] {
+            kinds_seen[pid] = true;
+            sep(w, &mut first)?;
+            write!(
+                w,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                pid,
+                r.comp.kind_name()
+            )?;
+        }
+    }
+
+    for r in records {
+        sep(w, &mut first)?;
+        write_record(w, r)?;
+    }
+    writeln!(w, "\n]}}")?;
+    Ok(())
+}
+
+fn sep<W: Write>(w: &mut W, first: &mut bool) -> io::Result<()> {
+    if *first {
+        *first = false;
+        Ok(())
+    } else {
+        writeln!(w, ",")
+    }
+}
+
+fn write_record<W: Write>(w: &mut W, r: &TraceRecord) -> io::Result<()> {
+    let ts_us = r.at.as_ns() / 1000.0;
+    write!(
+        w,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{:.4}",
+        r.event.name(),
+        r.comp.kind_name(),
+        r.comp.pid(),
+        r.comp.tid(),
+        ts_us
+    )?;
+    if r.dur.ticks() > 0 {
+        write!(w, ",\"ph\":\"X\",\"dur\":{:.4}", r.dur.as_ns() / 1000.0)?;
+    } else {
+        write!(w, ",\"ph\":\"i\",\"s\":\"t\"")?;
+    }
+    write!(w, ",\"args\":{{")?;
+    write_args(w, &r.event)?;
+    write!(w, "}}}}")
+}
+
+fn write_args<W: Write>(w: &mut W, ev: &TraceEvent) -> io::Result<()> {
+    match *ev {
+        TraceEvent::BankActivate { row, write } => {
+            write!(w, "\"row\":{row},\"write\":{write}")
+        }
+        TraceEvent::BankPrecharge => Ok(()),
+        TraceEvent::BusTransfer { bytes } => write!(w, "\"bytes\":{bytes}"),
+        TraceEvent::Gather {
+            bytes,
+            msgs,
+            wasted,
+        } => write!(w, "\"bytes\":{bytes},\"msgs\":{msgs},\"wasted\":{wasted}"),
+        TraceEvent::Scatter { bytes, msgs } => {
+            write!(w, "\"bytes\":{bytes},\"msgs\":{msgs}")
+        }
+        TraceEvent::StateGather { bytes } => write!(w, "\"bytes\":{bytes}"),
+        TraceEvent::Schedule { budget, receivers } => {
+            write!(w, "\"budget\":{budget},\"receivers\":{receivers}")
+        }
+        TraceEvent::MailboxEnqueue { bytes, used } => {
+            write!(w, "\"bytes\":{bytes},\"used\":{used}")
+        }
+        TraceEvent::MailboxFull { needed, used } => {
+            write!(w, "\"needed\":{needed},\"used\":{used}")
+        }
+        TraceEvent::TaskExec { func, workload } => {
+            write!(w, "\"func\":{func},\"workload\":{workload}")
+        }
+        TraceEvent::Migrate {
+            block,
+            from,
+            to,
+            tasks,
+        } => write!(
+            w,
+            "\"block\":{block},\"from\":{from},\"to\":{to},\"tasks\":{tasks}"
+        ),
+        TraceEvent::EpochAdvance { epoch } => write!(w, "\"epoch\":{epoch}"),
+    }
+}
+
+/// Convenience: serialize to an in-memory `String` (used by tests and
+/// small tools; large traces should stream to a file).
+pub fn chrome_trace_string(records: &[TraceRecord]) -> String {
+    let mut buf = Vec::new();
+    write_chrome_trace(&mut buf, records).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("writer emits ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ComponentId;
+    use ndpb_sim::SimTime;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::span(
+                SimTime::from_ticks(0),
+                SimTime::from_ticks(12),
+                ComponentId::Bridge(1),
+                TraceEvent::Gather {
+                    bytes: 256,
+                    msgs: 4,
+                    wasted: false,
+                },
+            ),
+            TraceRecord::instant(
+                SimTime::from_ticks(7),
+                ComponentId::Unit(3),
+                TraceEvent::MailboxFull {
+                    needed: 64,
+                    used: 960,
+                },
+            ),
+            TraceRecord::instant(
+                SimTime::from_ticks(9),
+                ComponentId::Host,
+                TraceEvent::EpochAdvance { epoch: 2 },
+            ),
+        ]
+    }
+
+    #[test]
+    fn output_has_envelope_and_all_events() {
+        let s = chrome_trace_string(&sample());
+        assert!(s.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(s.trim_end().ends_with("]}"));
+        assert!(s.contains("\"name\":\"gather\""));
+        assert!(s.contains("\"name\":\"mailbox-full\""));
+        assert!(s.contains("\"name\":\"epoch\""));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"ph\":\"i\""));
+        // One metadata row per kind present (bridge, unit, host).
+        assert_eq!(s.matches("process_name").count(), 3);
+    }
+
+    #[test]
+    fn output_is_structurally_balanced_json() {
+        // Without serde, check the invariants a parser relies on:
+        // balanced braces/brackets and no trailing comma.
+        let s = chrome_trace_string(&sample());
+        let (mut depth_obj, mut depth_arr) = (0i64, 0i64);
+        let mut in_str = false;
+        for c in s.chars() {
+            match c {
+                '"' => in_str = !in_str,
+                '{' if !in_str => depth_obj += 1,
+                '}' if !in_str => depth_obj -= 1,
+                '[' if !in_str => depth_arr += 1,
+                ']' if !in_str => depth_arr -= 1,
+                _ => {}
+            }
+            assert!(depth_obj >= 0 && depth_arr >= 0);
+        }
+        assert_eq!(depth_obj, 0);
+        assert_eq!(depth_arr, 0);
+        assert!(!in_str);
+        assert!(!s.contains(",\n]"));
+        assert!(!s.contains(",]"));
+        assert!(!s.contains(",}"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let s = chrome_trace_string(&[]);
+        assert!(s.contains("\"traceEvents\":["));
+        assert!(s.trim_end().ends_with("]}"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Hierarchical metrics registry with per-epoch snapshotting.
+//!
+//! Replaces the loose aggregate fields (`comm_dram_bytes`,
+//! `msgs_delivered`, …) that used to live directly on `System`.
+//! Components register named counters once (names are `/`-separated
+//! paths like `bridge/bytes_gathered`), update them by [`MetricId`]
+//! (an index — no hashing on the hot path), and the system snapshots
+//! the whole table at every epoch barrier, yielding a time series
+//! instead of a single end-of-run total.
+
+use ndpb_sim::SimTime;
+use std::fmt::Write as _;
+
+/// Cheap handle to a registered metric: an index into the registry's
+/// value table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(usize);
+
+/// A named table of `u64` counters/gauges plus the snapshots taken so
+/// far.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    names: Vec<String>,
+    values: Vec<u64>,
+    snapshots: Vec<MetricsSnapshot>,
+}
+
+/// The value table captured at one instant (values are absolute, not
+/// deltas — consumers diff adjacent snapshots for rates).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Why the snapshot was taken (e.g. `epoch-3`, `final`).
+    pub label: String,
+    /// Simulated time of the capture, in ticks.
+    pub at_ticks: u64,
+    /// One value per registered metric, in registration order.
+    pub values: Vec<u64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or look up) a metric by its `/`-separated path and
+    /// return its id. Registering the same path twice returns the same
+    /// id, so independent components can share a counter.
+    pub fn register(&mut self, path: &str) -> MetricId {
+        if let Some(i) = self.names.iter().position(|n| n == path) {
+            return MetricId(i);
+        }
+        self.names.push(path.to_string());
+        self.values.push(0);
+        MetricId(self.names.len() - 1)
+    }
+
+    /// Add `delta` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: MetricId, delta: u64) {
+        self.values[id.0] += delta;
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: MetricId) {
+        self.values[id.0] += 1;
+    }
+
+    /// Overwrite a gauge.
+    #[inline]
+    pub fn set(&mut self, id: MetricId, value: u64) {
+        self.values[id.0] = value;
+    }
+
+    /// Current value.
+    pub fn get(&self, id: MetricId) -> u64 {
+        self.values[id.0]
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Capture the current value table as a labelled snapshot.
+    pub fn snapshot(&mut self, label: impl Into<String>, at: SimTime) {
+        self.snapshots.push(MetricsSnapshot {
+            label: label.into(),
+            at_ticks: at.ticks(),
+            values: self.values.clone(),
+        });
+    }
+
+    /// Consume the registry into an immutable report for `RunResult`.
+    pub fn into_report(self) -> MetricsReport {
+        MetricsReport {
+            names: self.names,
+            snapshots: self.snapshots,
+        }
+    }
+}
+
+/// Frozen output of a [`MetricsRegistry`]: the metric names plus every
+/// snapshot taken during the run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Metric paths, in registration order (column headers).
+    pub names: Vec<String>,
+    /// Snapshots in capture order (rows).
+    pub snapshots: Vec<MetricsSnapshot>,
+}
+
+impl MetricsReport {
+    /// Value of `name` in the snapshot with `label`, if both exist.
+    pub fn value(&self, label: &str, name: &str) -> Option<u64> {
+        let col = self.names.iter().position(|n| n == name)?;
+        let snap = self.snapshots.iter().find(|s| s.label == label)?;
+        snap.values.get(col).copied()
+    }
+
+    /// Value of `name` in the last snapshot, if present.
+    pub fn final_value(&self, name: &str) -> Option<u64> {
+        let col = self.names.iter().position(|n| n == name)?;
+        self.snapshots.last()?.values.get(col).copied()
+    }
+
+    /// Metric names under a `/`-separated prefix (hierarchical query).
+    pub fn names_under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> {
+        self.names.iter().map(String::as_str).filter(move |n| {
+            n.strip_prefix(prefix)
+                .is_some_and(|rest| rest.is_empty() || rest.starts_with('/'))
+        })
+    }
+
+    /// Hand-rolled JSON document:
+    /// `{"metrics":[...names],"snapshots":[{"label":..,"t_ticks":..,"values":[..]},..]}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\"metrics\":[");
+        for (i, n) in self.names.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\"", escape(n));
+        }
+        s.push_str("],\"snapshots\":[");
+        for (i, snap) in self.snapshots.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"label\":\"{}\",\"t_ticks\":{},\"values\":[",
+                escape(&snap.label),
+                snap.at_ticks
+            );
+            for (j, v) in snap.values.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{v}");
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    // Metric paths and labels are generated in-repo from ASCII literals;
+    // escape the two characters that could still break the document.
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut m = MetricsRegistry::new();
+        let a = m.register("bridge/bytes_gathered");
+        let b = m.register("bridge/bytes_gathered");
+        assert_eq!(a, b);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn counters_and_snapshots() {
+        let mut m = MetricsRegistry::new();
+        let a = m.register("system/comm_dram_bytes");
+        let b = m.register("system/msgs_delivered");
+        m.add(a, 100);
+        m.inc(b);
+        m.snapshot("epoch-0", SimTime::from_ticks(10));
+        m.add(a, 50);
+        m.set(b, 7);
+        m.snapshot("final", SimTime::from_ticks(20));
+        assert_eq!(m.get(a), 150);
+
+        let r = m.into_report();
+        assert_eq!(r.value("epoch-0", "system/comm_dram_bytes"), Some(100));
+        assert_eq!(r.value("final", "system/comm_dram_bytes"), Some(150));
+        assert_eq!(r.value("final", "system/msgs_delivered"), Some(7));
+        assert_eq!(r.final_value("system/msgs_delivered"), Some(7));
+        assert_eq!(r.value("nope", "system/msgs_delivered"), None);
+        assert_eq!(r.value("final", "nope"), None);
+    }
+
+    #[test]
+    fn hierarchical_prefix_query() {
+        let mut m = MetricsRegistry::new();
+        m.register("bridge/bytes_gathered");
+        m.register("bridge/bytes_scattered");
+        m.register("bridgex/other");
+        m.register("system/epoch");
+        let r = m.into_report();
+        let under: Vec<&str> = r.names_under("bridge").collect();
+        assert_eq!(
+            under,
+            vec!["bridge/bytes_gathered", "bridge/bytes_scattered"]
+        );
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut m = MetricsRegistry::new();
+        let a = m.register("a/b");
+        m.add(a, 3);
+        m.snapshot("epoch-1", SimTime::from_ticks(42));
+        let j = m.into_report().to_json();
+        assert_eq!(
+            j,
+            "{\"metrics\":[\"a/b\"],\"snapshots\":[{\"label\":\"epoch-1\",\"t_ticks\":42,\"values\":[3]}]}"
+        );
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        let j = MetricsReport::default().to_json();
+        assert_eq!(j, "{\"metrics\":[],\"snapshots\":[]}");
+    }
+}

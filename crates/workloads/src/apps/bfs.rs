@@ -125,11 +125,7 @@ mod tests {
         let mut app = Bfs::new(&g, Scale::Tiny, 3);
         run_serial(&mut app);
         let n = app.graph.vertices();
-        assert!(
-            app.visited() > n / 4,
-            "visited {} of {n}",
-            app.visited()
-        );
+        assert!(app.visited() > n / 4, "visited {} of {n}", app.visited());
         assert!(app.checksum() > 0);
     }
 

@@ -35,9 +35,7 @@ impl LinkedList {
         let lists = geometry.total_units() as usize * s.elems_per_unit;
         let mut rng = SimRng::new(seed);
         // List lengths 1..=16 nodes (a 256 B element holds 16 nodes).
-        let lengths: Vec<u8> = (0..lists)
-            .map(|_| 1 + (rng.next_below(16)) as u8)
-            .collect();
+        let lengths: Vec<u8> = (0..lists).map(|_| 1 + (rng.next_below(16)) as u8).collect();
         // Zipf over *random permutation* of lists so hot lists land on
         // arbitrary units (query skew → unit skew).
         // θ=0.75: hot lists overload their units without one single list

@@ -11,8 +11,8 @@ pub mod ht;
 pub mod ll;
 pub mod pr;
 pub mod spmv;
-pub mod stencil;
 pub mod sssp;
+pub mod stencil;
 pub mod tree;
 pub mod wcc;
 

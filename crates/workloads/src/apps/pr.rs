@@ -94,8 +94,7 @@ impl Application for PageRank {
                     ctx.write(task.data, 16);
                 }
                 let deg = self.graph.degree(v) as u64;
-                if deg > 0 {
-                    let contrib = self.rank[v as usize] / deg;
+                if let Some(contrib) = self.rank[v as usize].checked_div(deg) {
                     ctx.compute(deg * PUSH_CYCLES);
                     ctx.read(task.data, (deg as u32 * 4).min(4096));
                     for &u in self.graph.neighbors(v) {

@@ -122,7 +122,7 @@ impl Application for Stencil {
                         TaskArgs::two(q as u64, val),
                     );
                 }
-                if iter + 1 <= self.iterations {
+                if iter < self.iterations {
                     ctx.enqueue_task(
                         FN_PUSH,
                         Timestamp(task.ts.0 + 2),

@@ -172,7 +172,11 @@ mod tests {
             steps += 1;
             assert!(steps < 10_000_000, "runaway traversal");
         }
-        assert_eq!(app.checksum(), total, "every query must terminate at its node");
+        assert_eq!(
+            app.checksum(),
+            total,
+            "every query must terminate at its node"
+        );
         assert!(app.hops() > total, "queries must descend multiple levels");
     }
 
@@ -195,7 +199,10 @@ mod tests {
                 }
             }
         }
-        assert!(crossings * 10 > total * 8, "{crossings}/{total} hops cross units");
+        assert!(
+            crossings * 10 > total * 8,
+            "{crossings}/{total} hops cross units"
+        );
     }
 
     #[test]

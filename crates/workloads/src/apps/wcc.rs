@@ -78,9 +78,7 @@ impl Application for Wcc {
                     FN_SEED,
                     Timestamp(0),
                     self.layout.addr_of(v),
-                    (BASE_CYCLES
-                        + self.graph.degree(v as u32) as u64 * CYCLES_PER_EDGE)
-                        as u32,
+                    (BASE_CYCLES + self.graph.degree(v as u32) as u64 * CYCLES_PER_EDGE) as u32,
                     TaskArgs::one(v),
                 )
             })
@@ -125,7 +123,9 @@ impl Application for Wcc {
     }
 
     fn checksum(&self) -> u64 {
-        self.label.iter().fold(0u64, |a, &l| a.wrapping_add(l as u64))
+        self.label
+            .iter()
+            .fold(0u64, |a, &l| a.wrapping_add(l as u64))
     }
 }
 

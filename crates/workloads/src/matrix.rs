@@ -58,13 +58,13 @@ impl SparseMatrix {
             counts[r] += 1;
         }
         let mut row_ptr = vec![0u64; rows + 1];
-        for r in 0..rows {
-            row_ptr[r + 1] = row_ptr[r] + counts[r];
+        for (r, &c) in counts.iter().enumerate() {
+            row_ptr[r + 1] = row_ptr[r] + c;
         }
         let total = row_ptr[rows] as usize;
         let mut col_idx = Vec::with_capacity(total);
-        for r in 0..rows {
-            for _ in 0..counts[r] {
+        for &c in &counts {
+            for _ in 0..c {
                 col_idx.push(rng.next_below(cols as u64) as u32);
             }
         }

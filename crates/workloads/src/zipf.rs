@@ -84,8 +84,7 @@ impl Zipfian {
         if uz < 1.0 + 0.5f64.powf(self.theta) && self.n >= 2 {
             return 1;
         }
-        let r =
-            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         r.min(self.n - 1)
     }
 
@@ -133,10 +132,7 @@ mod tests {
             }
         }
         // With theta=0.99 the top-10 of 10k items draw a large share.
-        assert!(
-            head > N / 5,
-            "top-10 items got only {head} of {N} samples"
-        );
+        assert!(head > N / 5, "top-10 items got only {head} of {N} samples");
     }
 
     #[test]

@@ -55,10 +55,7 @@ fn describe(r: &RunResult) {
         "  energy                    : {:>10.1} uJ",
         r.energy.total_pj() / 1e6
     );
-    println!(
-        "  busy-time Gini            : {:>10.3}",
-        r.busy_gini()
-    );
+    println!("  busy-time Gini            : {:>10.3}", r.busy_gini());
     let h = r.busy_histogram();
     println!("  units by busy fraction (0-100% of total time):");
     for (i, &n) in h.iter().enumerate() {

@@ -18,6 +18,8 @@
 //! * [`proto`] — message formats, mailboxes, bridge DDR commands;
 //! * [`sketch`] — hot-data sketch + reserved queue;
 //! * [`tasks`] — the task-based message-passing programming model;
+//! * [`trace`] — event tracing (Chrome `trace_event` output) and the
+//!   hierarchical metrics registry;
 //! * [`core`] — the full system model, design points and baselines;
 //! * [`workloads`] — synthetic datasets and the eight applications.
 //!
@@ -45,4 +47,5 @@ pub use ndpb_proto as proto;
 pub use ndpb_sim as sim;
 pub use ndpb_sketch as sketch;
 pub use ndpb_tasks as tasks;
+pub use ndpb_trace as trace;
 pub use ndpb_workloads as workloads;
