@@ -20,4 +20,25 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== golden + determinism + invariant suites =="
+# Also part of the workspace run above; named here so a regression in
+# the reference results fails with these suites' messages up front.
+# Release profile: they re-simulate the reference configurations.
+cargo test --release -q --test golden_runs --test determinism --test invariants
+
+echo "== repro fig10 smoke: --jobs determinism and warm cache =="
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+REPRO=target/release/repro
+SMOKE_ARGS=(fig10 --tiny --apps tree,spmv)
+# Cold run with the cache enabled, then: a 2-worker cache-less run must
+# print byte-identical output, and a warm cached run must simulate 0
+# points (the stderr sweep summary carries the counters).
+"$REPRO" "${SMOKE_ARGS[@]}" --jobs 1 --cache-dir "$SMOKE_DIR/cache" > "$SMOKE_DIR/j1.txt" 2>/dev/null
+"$REPRO" "${SMOKE_ARGS[@]}" --jobs 2 --no-cache > "$SMOKE_DIR/j2.txt" 2>/dev/null
+cmp "$SMOKE_DIR/j1.txt" "$SMOKE_DIR/j2.txt"
+"$REPRO" "${SMOKE_ARGS[@]}" --jobs 2 --cache-dir "$SMOKE_DIR/cache" > "$SMOKE_DIR/warm.txt" 2> "$SMOKE_DIR/warm.err"
+cmp "$SMOKE_DIR/j1.txt" "$SMOKE_DIR/warm.txt"
+grep -q "8 cache hits, 0 simulated" "$SMOKE_DIR/warm.err"
+
 echo "CI OK"

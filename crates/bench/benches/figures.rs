@@ -7,13 +7,19 @@
 //! `harness = false` binary using the in-repo `Instant` timer
 //! (`ndpb_bench::timing`) so no external bench framework is needed.
 //!
+//! Every case routes through the same [`Sweeper`] the `repro` harness
+//! uses — a single-worker, cache-less engine, so the timings measure
+//! one simulation through the production sweep path with no disk I/O
+//! or cross-point parallelism muddying them.
+//!
 //! The *paper-scale* numbers come from the `repro` binary
 //! (`cargo run --release -p ndpb-bench --bin repro -- all --full`).
 
 use ndpb_bench::timing::bench;
-use ndpb_bench::{run_host, run_one};
+use ndpb_bench::{Column, SweepPoint, Sweeper};
 use ndpb_core::config::{SystemConfig, TriggerPolicy};
 use ndpb_core::design::DesignPoint;
+use ndpb_core::RunResult;
 use ndpb_dram::Geometry;
 use ndpb_sketch::SketchConfig;
 use ndpb_workloads::Scale;
@@ -27,45 +33,54 @@ fn small_system() -> SystemConfig {
 }
 
 fn main() {
+    let sweeper = Sweeper::new(1);
+    let run = |app: &str, column: Column, cfg: SystemConfig| -> RunResult {
+        sweeper
+            .run(vec![SweepPoint::new(app, column, cfg, Scale::Tiny)])
+            .pop()
+            .expect("one point in, one result out")
+    };
+    let ndp = |app: &str, d: DesignPoint, cfg: SystemConfig| run(app, Column::Ndp(d), cfg);
+
     bench("fig2/tree_on_C", ITERS, || {
-        run_one("tree", DesignPoint::C, small_system(), Scale::Tiny)
+        ndp("tree", DesignPoint::C, small_system())
     });
 
     for design in DesignPoint::table2() {
         bench(&format!("fig10/tree_on_{design}"), ITERS, || {
-            run_one("tree", design, small_system(), Scale::Tiny)
+            ndp("tree", design, small_system())
         });
         bench(&format!("fig10/spmv_on_{design}"), ITERS, || {
-            run_one("spmv", design, small_system(), Scale::Tiny)
+            ndp("spmv", design, small_system())
         });
     }
 
     bench("fig11/tree_on_H", ITERS, || {
-        run_host("tree", small_system(), Scale::Tiny)
+        run("tree", Column::Host, small_system())
     });
     bench("fig11/tree_on_R", ITERS, || {
-        run_one("tree", DesignPoint::R, small_system(), Scale::Tiny)
+        ndp("tree", DesignPoint::R, small_system())
     });
 
     for ranks in [1u32, 4] {
         bench(&format!("fig12/pr_O_{}_units", ranks * 64), ITERS, || {
             let mut cfg = SystemConfig::with_geometry(Geometry::with_total_ranks(ranks));
             cfg.seed = 7;
-            run_one("pr", DesignPoint::O, cfg, Scale::Tiny)
+            ndp("pr", DesignPoint::O, cfg)
         });
     }
 
     // Energy is computed by the same run; bench the accounting-heavy
     // design point end to end.
     bench("fig13/wcc_on_O_energy", ITERS, || {
-        let r = run_one("wcc", DesignPoint::O, small_system(), Scale::Tiny);
+        let r = ndp("wcc", DesignPoint::O, small_system());
         assert!(r.energy.total_pj() > 0.0);
         r
     });
 
     for design in [DesignPoint::WAdv, DesignPoint::WFine, DesignPoint::WHot] {
         bench(&format!("fig14a/spmv_on_{design}"), ITERS, || {
-            run_one("spmv", design, small_system(), Scale::Tiny)
+            ndp("spmv", design, small_system())
         });
     }
 
@@ -77,7 +92,7 @@ fn main() {
         bench(&format!("fig14b/tree_{name}"), ITERS, || {
             let mut cfg = small_system();
             cfg.trigger = pol;
-            run_one("tree", DesignPoint::O, cfg, Scale::Tiny)
+            ndp("tree", DesignPoint::O, cfg)
         });
     }
 
@@ -85,7 +100,7 @@ fn main() {
         bench(&format!("fig15/tree_O_x{dq}"), ITERS, || {
             let mut cfg = SystemConfig::with_geometry(Geometry::with_dq_bits(dq));
             cfg.seed = 7;
-            run_one("tree", DesignPoint::O, cfg, Scale::Tiny)
+            ndp("tree", DesignPoint::O, cfg)
         });
     }
 
@@ -93,27 +108,41 @@ fn main() {
         bench(&format!("fig16/spmv_O_gxfer_{gx}"), ITERS, || {
             let mut cfg = small_system();
             cfg.g_xfer = gx;
-            run_one("spmv", DesignPoint::O, cfg, Scale::Tiny)
+            ndp("spmv", DesignPoint::O, cfg)
         });
     }
     for i_state in [500u64, 2000, 8000] {
         bench(&format!("fig16/ll_O_istate_{i_state}"), ITERS, || {
             let mut cfg = small_system();
             cfg.i_state_cycles = i_state;
-            run_one("ll", DesignPoint::O, cfg, Scale::Tiny)
+            ndp("ll", DesignPoint::O, cfg)
         });
     }
     for (bk, en) in [(4usize, 16usize), (16, 16), (16, 4)] {
         bench(&format!("fig16/ll_O_sketch_{bk}x{en}"), ITERS, || {
             let mut cfg = small_system();
             cfg.sketch = SketchConfig::with_geometry(bk, en);
-            run_one("ll", DesignPoint::O, cfg, Scale::Tiny)
+            ndp("ll", DesignPoint::O, cfg)
         });
     }
 
     bench("splitdimm/tree_O", ITERS, || {
         let mut cfg = SystemConfig::with_geometry(Geometry::split_dimm_buffer());
         cfg.seed = 7;
-        run_one("tree", DesignPoint::O, cfg, Scale::Tiny)
+        ndp("tree", DesignPoint::O, cfg)
+    });
+
+    // How much the engine itself costs: an 8-point sweep through a
+    // 4-worker pool vs the sum of its points above.
+    bench("sweep/fig10_matrix_4workers", 3, || {
+        let pool = Sweeper::new(4);
+        let points: Vec<SweepPoint> = DesignPoint::table2()
+            .iter()
+            .flat_map(|&d| {
+                ["tree", "spmv"]
+                    .map(|app| SweepPoint::new(app, Column::Ndp(d), small_system(), Scale::Tiny))
+            })
+            .collect();
+        pool.run(points)
     });
 }

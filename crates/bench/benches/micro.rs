@@ -1,6 +1,8 @@
 //! Microbenchmarks of the substrate data structures the system is
 //! built on: the event queue, RNG, Zipfian sampler, hot-data sketch,
-//! mailbox, bank timing model and graph generator.
+//! mailbox, bank timing model, graph generator, and the sweep engine's
+//! substrate (FNV fingerprinting, the result-cache codec, the JSON
+//! reader).
 //!
 //! `harness = false` binary using the in-repo `Instant` timer
 //! (`ndpb_bench::timing`) so no external bench framework is needed.
@@ -89,4 +91,53 @@ fn main() {
     });
 
     bench("micro/rmat_scale12", ITERS, || Graph::rmat(12, 32_768, 5));
+
+    bench("micro/fnv1a_config_fingerprint_1k", ITERS, || {
+        let cfg = ndpb_core::config::SystemConfig::table1();
+        let mut acc = 0u64;
+        for _ in 0..1000 {
+            acc ^= cfg.fingerprint();
+        }
+        acc
+    });
+
+    let result = {
+        let cfg = ndpb_core::config::SystemConfig::with_geometry(
+            ndpb_dram::Geometry::with_total_ranks(1),
+        );
+        ndpb_bench::run_one(
+            "ll",
+            ndpb_core::design::DesignPoint::O,
+            cfg,
+            ndpb_workloads::Scale::Tiny,
+        )
+    };
+    bench("micro/cache_encode_100", ITERS, || {
+        let mut bytes = 0usize;
+        for _ in 0..100 {
+            bytes += ndpb_bench::cache::encode_result(&result).len();
+        }
+        bytes
+    });
+    let doc = ndpb_bench::cache::encode_result(&result);
+    bench("micro/cache_decode_100", ITERS, || {
+        let mut tasks = 0u64;
+        for _ in 0..100 {
+            tasks += ndpb_bench::cache::decode_result(&doc)
+                .expect("valid document")
+                .tasks_executed;
+        }
+        tasks
+    });
+    bench("micro/json_parse_100", ITERS, || {
+        let mut nodes = 0usize;
+        for _ in 0..100 {
+            let j = ndpb_bench::json::Json::parse(&doc).expect("valid document");
+            nodes += j
+                .get("per_unit_busy")
+                .and_then(|v| v.as_arr())
+                .map_or(0, <[_]>::len);
+        }
+        nodes
+    });
 }

@@ -1,11 +1,20 @@
 //! `repro` — regenerate every table and figure of the NDPBridge paper.
 //!
 //! ```text
-//! cargo run --release -p ndpb-bench --bin repro -- <subcommand> [--tiny|--small|--full] [--apps a,b,c]
+//! cargo run --release -p ndpb-bench --bin repro -- <subcommand> \
+//!     [--tiny|--small|--full] [--apps a,b,c] [--jobs N] \
+//!     [--cache-dir path] [--no-cache]
 //! ```
 //!
 //! Subcommands: `table1 table2 fig2 fig10 fig11 fig12 fig13 fig14a
 //! fig14b fig15 fig16a fig16b fig16c fig16d split-dimm all`.
+//!
+//! Simulations fan out over the sweep engine: `--jobs N` bounds the
+//! worker pool (default: all hardware threads) and results are merged
+//! deterministically, so any `--jobs` value prints identical output.
+//! Results are cached under `target/repro-cache` (override with
+//! `--cache-dir`, disable with `--no-cache`); a warm rerun simulates
+//! nothing — the stderr sweep summary shows the hit/miss counters.
 //!
 //! Absolute numbers will not match the paper (different substrate); the
 //! *shape* — orderings, approximate factors, crossovers — is the
@@ -26,6 +35,9 @@ struct Opts {
     json: Option<String>,
     trace: Option<String>,
     metrics_json: Option<String>,
+    jobs: Option<usize>,
+    cache_dir: Option<String>,
+    no_cache: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -34,6 +46,9 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut json = None;
     let mut trace = None;
     let mut metrics_json = None;
+    let mut jobs = None;
+    let mut cache_dir = None;
+    let mut no_cache = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -48,6 +63,15 @@ fn parse_opts(args: &[String]) -> Opts {
             "--json" => json = it.next().cloned(),
             "--trace" => trace = it.next().cloned(),
             "--metrics-json" => metrics_json = it.next().cloned(),
+            "--jobs" => {
+                jobs = it.next().and_then(|v| v.parse().ok());
+                if jobs.is_none() {
+                    eprintln!("--jobs expects a worker count, e.g. --jobs 8");
+                    std::process::exit(2);
+                }
+            }
+            "--cache-dir" => cache_dir = it.next().cloned(),
+            "--no-cache" => no_cache = true,
             _ => {}
         }
     }
@@ -57,7 +81,27 @@ fn parse_opts(args: &[String]) -> Opts {
         json,
         trace,
         metrics_json,
+        jobs,
+        cache_dir,
+        no_cache,
     }
+}
+
+/// Installs the process-wide sweep engine from the CLI flags. Caching
+/// is on by default (`target/repro-cache`) so a rerun of an unchanged
+/// figure costs file reads, not simulations; `--no-cache` forces fresh
+/// simulations and `--cache-dir` relocates the store.
+fn configure_sweep(o: &Opts) {
+    let mut sweeper =
+        ndpb_bench::Sweeper::new(o.jobs.unwrap_or_else(ndpb_bench::sweep::default_jobs));
+    if !o.no_cache {
+        let dir = o
+            .cache_dir
+            .clone()
+            .unwrap_or_else(|| "target/repro-cache".to_string());
+        sweeper = sweeper.with_cache(dir);
+    }
+    ndpb_bench::sweep::configure(sweeper);
 }
 
 /// Writes one JSON array of per-run records for a matrix (only when
@@ -620,6 +664,7 @@ fn main() {
     };
     let skip = usize::from(!args.first().is_none_or(|a| a.starts_with("--")));
     let o = parse_opts(&args[skip.min(args.len())..]);
+    configure_sweep(&o);
     let start = std::time::Instant::now();
     match cmd {
         "trace" => traced_run(&o),
@@ -669,8 +714,25 @@ fn main() {
         }
         other => {
             eprintln!("unknown subcommand {other:?}");
-            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--json path] [--trace path] [--metrics-json path]");
+            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--jobs N] [--cache-dir path] [--no-cache] [--json path] [--trace path] [--metrics-json path]");
             std::process::exit(2);
+        }
+    }
+    let engine = ndpb_bench::sweep::global();
+    if let Some(summary) = engine.summary() {
+        eprintln!("\n{summary}");
+    }
+    // For sweep subcommands, `--metrics-json` dumps the engine's
+    // counters (cache hits/misses, per-worker progress, one snapshot
+    // per sweep); the `trace` subcommand already wrote the simulation's
+    // own per-epoch metrics above.
+    if cmd != "trace" {
+        if let Some(path) = &o.metrics_json {
+            let report = engine.metrics().report();
+            match std::fs::write(path, report.to_json()) {
+                Ok(()) => eprintln!("[wrote sweep metrics to {path}]"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
         }
     }
     eprintln!("\n[{} completed in {:.1?}]", cmd, start.elapsed());

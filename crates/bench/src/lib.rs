@@ -4,10 +4,20 @@
 //! The `repro` binary (`src/bin/repro.rs`) exposes one subcommand per
 //! table/figure; the `Instant`-based benches under `benches/` (see
 //! [`timing`]) reuse the same entry points at reduced scale.
+//!
+//! All multi-point work routes through the [`sweep`] engine: a bounded
+//! worker pool with deterministic result merging and an optional
+//! content-addressed on-disk [`cache`] keyed by
+//! `SystemConfig::fingerprint`, so a warm `repro all` rerun simulates
+//! nothing. [`json`] holds the matching reader for the workspace's
+//! hand-rolled JSON writers.
 
+pub mod cache;
+pub mod json;
+pub mod sweep;
 pub mod timing;
 
-use std::thread;
+pub use sweep::{SweepPoint, Sweeper};
 
 use ndpb_core::config::SystemConfig;
 use ndpb_core::design::DesignPoint;
@@ -63,40 +73,32 @@ impl Column {
     }
 }
 
-/// Runs `columns × apps` in parallel threads (each simulation is
-/// single-threaded and deterministic) and returns results in
-/// `[app][column]` order.
+/// Runs `columns × apps` through the process-wide [`sweep`] engine
+/// (bounded worker pool, deterministic merge, optional result cache)
+/// and returns results in `[app][column]` order.
+///
+/// Output is identical for any worker count: each simulation is
+/// single-threaded and deterministic, and the engine merges by point
+/// index.
 pub fn run_matrix(
     apps: &[&str],
     columns: &[Column],
-    make_cfg: impl Fn() -> SystemConfig + Sync,
+    make_cfg: impl Fn() -> SystemConfig,
     scale: Scale,
 ) -> Vec<Vec<RunResult>> {
-    thread::scope(|s| {
-        let handles: Vec<Vec<_>> = apps
-            .iter()
-            .map(|&app| {
-                columns
-                    .iter()
-                    .map(|&col| {
-                        let cfg = make_cfg();
-                        s.spawn(move || match col {
-                            Column::Ndp(d) => run_one(app, d, cfg, scale),
-                            Column::Host => run_host(app, cfg, scale),
-                        })
-                    })
-                    .collect()
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|row| {
-                row.into_iter()
-                    .map(|h| h.join().expect("run panicked"))
-                    .collect()
-            })
-            .collect()
-    })
+    let make_cfg = &make_cfg;
+    let points: Vec<SweepPoint> = apps
+        .iter()
+        .flat_map(|&app| {
+            columns
+                .iter()
+                .map(move |&col| SweepPoint::new(app, col, make_cfg(), scale))
+        })
+        .collect();
+    let mut flat = sweep::global().run(points).into_iter();
+    apps.iter()
+        .map(|_| flat.by_ref().take(columns.len()).collect())
+        .collect()
 }
 
 /// Geometric-mean speedup of column `target` over column `baseline`

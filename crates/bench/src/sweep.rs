@@ -1,0 +1,350 @@
+//! The sweep engine: a bounded worker pool that fans simulation points
+//! across threads, with an optional content-addressed result cache.
+//!
+//! Every table/figure of the paper is a *sweep*: a list of
+//! (application, design column, configuration, scale) points whose
+//! simulations are completely independent — each one is single-threaded
+//! and deterministic given its config seed. The engine exploits exactly
+//! that independence and nothing more:
+//!
+//! * **Bounded parallelism.** `--jobs N` workers pull point indices
+//!   from one shared queue (work stealing over a `Mutex<VecDeque>`;
+//!   whichever worker finishes first takes the next point), instead of
+//!   the former one-thread-per-cell free-for-all that oversubscribed
+//!   the machine on large figures.
+//! * **Deterministic merge.** Results are written into a slot vector by
+//!   point index, so callers observe the same ordering regardless of
+//!   worker count or scheduling. `--jobs 1` and `--jobs 8` produce
+//!   byte-identical harness output.
+//! * **Result cache.** With a cache directory configured, each point's
+//!   [`cache::point_key`] is probed before simulating; hits skip the
+//!   simulation entirely and misses are stored after it. A warm rerun
+//!   of `repro all` simulates nothing.
+//! * **Observability.** Point counts, cache hits/misses, simulations
+//!   and per-worker progress all land in a [`SharedMetrics`] table the
+//!   harness can snapshot and dump (`sweep/points_total`,
+//!   `sweep/cache_hits`, `sweep/cache_misses`, `sweep/simulated`,
+//!   `sweep/worker-N/points`).
+
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex, OnceLock};
+use std::thread;
+
+use ndpb_core::config::SystemConfig;
+use ndpb_core::result::RunResult;
+use ndpb_sim::SimTime;
+use ndpb_trace::SharedMetrics;
+use ndpb_workloads::Scale;
+
+use crate::cache::{point_key, ResultCache};
+use crate::{run_host, run_one, Column};
+
+/// One independent simulation in a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Application name (see `ndpb_workloads::APP_NAMES`).
+    pub app: String,
+    /// Design column to simulate.
+    pub column: Column,
+    /// Full system configuration (folded into the cache key).
+    pub cfg: SystemConfig,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl SweepPoint {
+    /// Builds a point.
+    pub fn new(app: impl Into<String>, column: Column, cfg: SystemConfig, scale: Scale) -> Self {
+        SweepPoint {
+            app: app.into(),
+            column,
+            cfg,
+            scale,
+        }
+    }
+
+    /// The point's content-addressed cache key.
+    pub fn key(&self) -> u64 {
+        point_key(&self.app, &self.column.label(), self.scale, &self.cfg)
+    }
+
+    /// Runs the simulation for this point.
+    pub fn simulate(self) -> RunResult {
+        match self.column {
+            Column::Ndp(d) => run_one(&self.app, d, self.cfg, self.scale),
+            Column::Host => run_host(&self.app, self.cfg, self.scale),
+        }
+    }
+}
+
+/// The sweep executor: worker count, optional cache, shared metrics.
+#[derive(Debug)]
+pub struct Sweeper {
+    jobs: usize,
+    cache: Option<ResultCache>,
+    metrics: SharedMetrics,
+    sweeps_run: AtomicU64,
+}
+
+impl Sweeper {
+    /// An engine with `jobs` workers and no cache.
+    pub fn new(jobs: usize) -> Self {
+        Sweeper {
+            jobs: jobs.max(1),
+            cache: None,
+            metrics: SharedMetrics::new(),
+            sweeps_run: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables the on-disk result cache rooted at `dir`.
+    pub fn with_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache = Some(ResultCache::new(dir));
+        self
+    }
+
+    /// Worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The cache directory, if caching is enabled.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache.as_ref().map(ResultCache::dir)
+    }
+
+    /// The engine's metrics table (sweep counters, worker progress).
+    pub fn metrics(&self) -> &SharedMetrics {
+        &self.metrics
+    }
+
+    /// Runs all points and returns their results in input order.
+    ///
+    /// Cache probing happens serially up front (it is pure file I/O);
+    /// only the misses go to the worker pool. The output is a pure
+    /// function of `points` — worker count and scheduling never show.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any simulation.
+    pub fn run(&self, points: Vec<SweepPoint>) -> Vec<RunResult> {
+        let m = &self.metrics;
+        let total_id = m.register("sweep/points_total");
+        let hits_id = m.register("sweep/cache_hits");
+        let miss_id = m.register("sweep/cache_misses");
+        let sim_id = m.register("sweep/simulated");
+        m.add(total_id, points.len() as u64);
+
+        let mut slots: Vec<Option<RunResult>> = (0..points.len()).map(|_| None).collect();
+        let mut pending: VecDeque<(usize, SweepPoint)> = VecDeque::new();
+        for (i, p) in points.into_iter().enumerate() {
+            match self.cache.as_ref().and_then(|c| c.load(p.key())) {
+                Some(hit) => {
+                    m.inc(hits_id);
+                    slots[i] = Some(hit);
+                }
+                None => {
+                    m.inc(miss_id);
+                    pending.push_back((i, p));
+                }
+            }
+        }
+
+        let workers = self.jobs.min(pending.len());
+        if workers > 0 {
+            // Register worker gauges serially so metric column order
+            // does not depend on thread scheduling.
+            let worker_ids: Vec<_> = (0..workers)
+                .map(|w| m.register(&format!("sweep/worker-{w}/points")))
+                .collect();
+            let queue = Mutex::new(pending);
+            let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
+            thread::scope(|s| {
+                for &worker_id in &worker_ids {
+                    let tx = tx.clone();
+                    let queue = &queue;
+                    let metrics = m.clone();
+                    let cache = self.cache.as_ref();
+                    s.spawn(move || loop {
+                        let job = queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
+                        let Some((idx, point)) = job else { break };
+                        let key = point.key();
+                        let result = point.simulate();
+                        if let Some(c) = cache {
+                            // Best-effort: an unwritable cache directory
+                            // slows reruns down, it does not fail them.
+                            let _ = c.store(key, &result);
+                        }
+                        metrics.inc(sim_id);
+                        metrics.inc(worker_id);
+                        if tx.send((idx, result)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                for (idx, result) in rx {
+                    slots[idx] = Some(result);
+                }
+            });
+        }
+
+        let seq = self.sweeps_run.fetch_add(1, Ordering::Relaxed);
+        m.snapshot(format!("sweep-{seq}"), SimTime::ZERO);
+        slots
+            .into_iter()
+            .map(|s| s.expect("sweep worker died before delivering its result"))
+            .collect()
+    }
+
+    /// Formats a one-line summary of the engine's lifetime counters
+    /// (for the harness's stderr footer). `None` before any sweep ran.
+    pub fn summary(&self) -> Option<String> {
+        let report = {
+            self.metrics.snapshot("summary", SimTime::ZERO);
+            self.metrics.report()
+        };
+        let total = report.final_value("sweep/points_total")?;
+        if total == 0 {
+            return None;
+        }
+        let hits = report.final_value("sweep/cache_hits").unwrap_or(0);
+        let simulated = report.final_value("sweep/simulated").unwrap_or(0);
+        let cache = match self.cache_dir() {
+            Some(d) => format!("{}", d.display()),
+            None => "off".to_string(),
+        };
+        Some(format!(
+            "[sweep: {total} points, {hits} cache hits, {simulated} simulated, jobs={}, cache={cache}]",
+            self.jobs
+        ))
+    }
+}
+
+/// The default worker count: one per available hardware thread.
+pub fn default_jobs() -> usize {
+    thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+}
+
+static GLOBAL: OnceLock<Sweeper> = OnceLock::new();
+
+/// Installs the process-wide engine (the `repro` harness calls this
+/// once from its CLI flags). Returns `false` if an engine was already
+/// installed — the existing one keeps running, matching `OnceLock`
+/// semantics.
+pub fn configure(sweeper: Sweeper) -> bool {
+    GLOBAL.set(sweeper).is_ok()
+}
+
+/// The process-wide engine `run_matrix` routes through. Defaults to
+/// all hardware threads and **no cache** (library users and tests get
+/// pure in-memory behaviour unless they opt in via [`configure`]).
+pub fn global() -> &'static Sweeper {
+    GLOBAL.get_or_init(|| Sweeper::new(default_jobs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndpb_core::design::DesignPoint;
+    use ndpb_dram::Geometry;
+
+    fn tiny_cfg() -> SystemConfig {
+        SystemConfig::with_geometry(Geometry::with_total_ranks(1))
+    }
+
+    fn points() -> Vec<SweepPoint> {
+        ["ll", "spmv", "ht"]
+            .iter()
+            .flat_map(|&app| {
+                [DesignPoint::C, DesignPoint::O]
+                    .map(|d| SweepPoint::new(app, Column::Ndp(d), tiny_cfg(), Scale::Tiny))
+            })
+            .collect()
+    }
+
+    fn fingerprint(results: &[RunResult]) -> Vec<String> {
+        results.iter().map(RunResult::to_json).collect()
+    }
+
+    #[test]
+    fn merge_order_matches_input_order_for_any_job_count() {
+        let baseline = fingerprint(&Sweeper::new(1).run(points()));
+        for jobs in [2, 8, 32] {
+            let got = fingerprint(&Sweeper::new(jobs).run(points()));
+            assert_eq!(got, baseline, "jobs={jobs} must be invisible");
+        }
+        // Results land app-major, column-minor, like the input.
+        let r = Sweeper::new(4).run(points());
+        assert_eq!(r[0].app, "ll");
+        assert_eq!(r[0].design, "C");
+        assert_eq!(r[1].design, "O");
+        assert_eq!(r[4].app, "ht");
+    }
+
+    #[test]
+    fn warm_cache_simulates_nothing_and_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("ndpb-sweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cold = Sweeper::new(4).with_cache(&dir);
+        let first = fingerprint(&cold.run(points()));
+        let report = cold.metrics().report();
+        assert_eq!(report.final_value("sweep/cache_hits"), Some(0));
+        assert_eq!(report.final_value("sweep/cache_misses"), Some(6));
+        assert_eq!(report.final_value("sweep/simulated"), Some(6));
+
+        let warm = Sweeper::new(4).with_cache(&dir);
+        let second = fingerprint(&warm.run(points()));
+        assert_eq!(second, first, "cache hits must reproduce live output");
+        let report = warm.metrics().report();
+        assert_eq!(report.final_value("sweep/cache_hits"), Some(6));
+        assert_eq!(
+            report.final_value("sweep/simulated"),
+            Some(0),
+            "warm rerun must not simulate"
+        );
+        assert!(warm.summary().unwrap().contains("6 cache hits"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_progress_counters_cover_all_simulations() {
+        let sw = Sweeper::new(3);
+        let n = sw.run(points()).len() as u64;
+        let report = sw.metrics().report();
+        let per_worker: u64 = report
+            .names_under("sweep")
+            .filter(|name| name.ends_with("/points"))
+            .filter_map(|name| report.final_value(name))
+            .sum();
+        assert_eq!(per_worker, n, "every point is attributed to a worker");
+        assert_eq!(report.final_value("sweep/points_total"), Some(n));
+    }
+
+    #[test]
+    fn empty_sweep_is_fine_and_summary_reports_nothing() {
+        let sw = Sweeper::new(8);
+        assert!(sw.run(Vec::new()).is_empty());
+        assert!(sw.summary().is_none());
+    }
+
+    #[test]
+    fn zero_jobs_is_clamped_to_one() {
+        let sw = Sweeper::new(0);
+        assert_eq!(sw.jobs(), 1);
+        assert_eq!(sw.run(points()).len(), 6);
+    }
+
+    #[test]
+    fn global_engine_is_installed_once() {
+        // Whichever call wins, subsequent configuration is rejected and
+        // the instance stays stable.
+        let first = global() as *const Sweeper;
+        assert!(!configure(Sweeper::new(2)), "global already initialized");
+        assert_eq!(first, global() as *const Sweeper);
+    }
+}

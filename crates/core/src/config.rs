@@ -166,6 +166,21 @@ impl SystemConfig {
     pub fn borrowed_capacity_blocks(&self) -> usize {
         ((self.borrowed_region_bytes / self.g_xfer as u64) as usize).min(self.unit_borrowed_entries)
     }
+
+    /// A cheap, stable 64-bit content fingerprint covering every
+    /// outcome-affecting field — the sweep engine's cache key
+    /// component for the configuration.
+    ///
+    /// Hashes the derived `Debug` rendering through the in-tree FNV-1a
+    /// hasher: the rendering spells out every field (geometry, timing,
+    /// energy, sketch, trigger, seed, …), so adding a field to any
+    /// nested config struct automatically changes the fingerprint — a
+    /// new knob can never alias a cached result from before it existed.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = ndpb_sim::Fnv1a64::new();
+        h.write_str(&format!("{self:?}"));
+        h.finish()
+    }
 }
 
 impl Default for SystemConfig {
@@ -255,6 +270,29 @@ mod tests {
         let mut c = SystemConfig::table1();
         c.g_xfer = 0;
         c.validate();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        assert_eq!(
+            SystemConfig::table1().fingerprint(),
+            SystemConfig::table1().fingerprint()
+        );
+        let base = SystemConfig::table1().fingerprint();
+        let mut c = SystemConfig::table1();
+        c.seed += 1;
+        assert_ne!(c.fingerprint(), base, "seed must be part of the key");
+        let mut c = SystemConfig::table1();
+        c.g_xfer = 1024;
+        assert_ne!(c.fingerprint(), base);
+        let mut c = SystemConfig::table1();
+        c.trigger = TriggerPolicy::Fixed2IMin;
+        assert_ne!(c.fingerprint(), base);
+        assert_ne!(SystemConfig::table1().with_dimm_link().fingerprint(), base);
+        assert_ne!(
+            SystemConfig::with_geometry(ndpb_dram::Geometry::with_total_ranks(1)).fingerprint(),
+            base
+        );
     }
 
     #[test]

@@ -145,6 +145,17 @@ impl SysMetrics {
     }
 }
 
+// The sweep engine builds a `System` on one thread and may run it on
+// another, and ships `RunResult`s back over channels. Every field is
+// owned data; the two boxed trait objects (`Application`, `TraceSink`)
+// carry `Send` as a supertrait. This assertion turns any future
+// `Rc`/non-`Send` regression into a compile error at the source.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<System>();
+    assert_send::<RunResult>();
+};
+
 /// Reborrows the optional sink as the `Option<&mut dyn TraceSink>` the
 /// component hooks take. (`Option::as_deref_mut` alone cannot shorten
 /// the trait object's `'static` bound inside the `Option`, so every

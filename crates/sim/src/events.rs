@@ -97,10 +97,16 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` at absolute time `at`.
     ///
+    /// Scheduling at exactly [`now`](Self::now) — e.g. from inside the
+    /// handler of the event that advanced the clock to `at` — is legal
+    /// and ordered FIFO *after* every event already pending at that
+    /// tick: ties break strictly by schedule order, never by heap
+    /// internals. `crates/sim/tests/event_order.rs` pins this contract.
+    ///
     /// # Panics
     ///
-    /// Panics if `at` is earlier than the current time: the simulation
-    /// cannot travel backwards.
+    /// Panics if `at` is strictly earlier than the current time: the
+    /// simulation cannot travel backwards.
     pub fn schedule(&mut self, at: SimTime, event: E) {
         assert!(
             at >= self.now,

@@ -11,6 +11,9 @@
 //!   FIFO tie-breaking, the heart of the discrete-event engine.
 //! * [`rng`] — a small, seedable SplitMix64/xoshiro RNG so simulations are
 //!   reproducible without depending on `rand` in the hot path.
+//! * [`fingerprint`] — a stable 64-bit FNV-1a hasher used to
+//!   content-address sweep results (std's `DefaultHasher` is not stable
+//!   across toolchains).
 //! * [`stats`] — counters, time-weighted averages and histograms used for
 //!   the per-unit and system-wide statistics the paper reports.
 //!
@@ -29,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod fingerprint;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use events::EventQueue;
+pub use fingerprint::Fnv1a64;
 pub use rng::SimRng;
 pub use time::{SimTime, TICKS_PER_BUS_CYCLE, TICKS_PER_CORE_CYCLE};

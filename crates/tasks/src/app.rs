@@ -120,7 +120,12 @@ impl ExecCtx {
 /// their construction seed, and must tolerate tasks of one timestamp
 /// executing in any order — the guarantee the bulk-synchronous model
 /// gives them.
-pub trait Application {
+///
+/// `Send` is a supertrait so a boxed application — and the `System`
+/// that owns it — can be handed to a sweep-engine worker thread.
+/// Applications are owned data (no shared interior mutability), so this
+/// costs implementors nothing.
+pub trait Application: Send {
     /// Short name, e.g. `"tree"`.
     fn name(&self) -> &str;
 

@@ -33,5 +33,5 @@ pub mod sink;
 
 pub use chrome::{chrome_trace_string, write_chrome_trace};
 pub use event::{ComponentId, TraceEvent, TraceRecord};
-pub use metrics::{MetricId, MetricsRegistry, MetricsReport, MetricsSnapshot};
+pub use metrics::{MetricId, MetricsRegistry, MetricsReport, MetricsSnapshot, SharedMetrics};
 pub use sink::{NullSink, RingRecorder, TraceSink};

@@ -10,6 +10,7 @@
 
 use ndpb_sim::SimTime;
 use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
 
 /// Cheap handle to a registered metric: an index into the registry's
 /// value table.
@@ -102,6 +103,75 @@ impl MetricsRegistry {
         MetricsReport {
             names: self.names,
             snapshots: self.snapshots,
+        }
+    }
+}
+
+/// A [`MetricsRegistry`] shareable across threads.
+///
+/// Simulations stay single-threaded and keep their registry by value,
+/// but the *sweep engine* runs many simulations concurrently and its
+/// workers all report into one table (per-worker progress gauges, cache
+/// hit/miss counters). A mutex — not atomics — keeps the full registry
+/// API (registration, snapshots) available; sweep-level updates happen
+/// per *simulation*, not per event, so contention is negligible.
+///
+/// Cloning is shallow: clones observe and update the same table.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMetrics {
+    inner: Arc<Mutex<MetricsRegistry>>,
+}
+
+impl SharedMetrics {
+    /// A fresh, empty shared registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+        // A poisoned lock means a worker panicked mid-update; counters
+        // are plain u64s, so the table is still coherent to read.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register (or look up) a metric path. See
+    /// [`MetricsRegistry::register`].
+    pub fn register(&self, path: &str) -> MetricId {
+        self.lock().register(path)
+    }
+
+    /// Add `delta` to a counter.
+    pub fn add(&self, id: MetricId, delta: u64) {
+        self.lock().add(id, delta);
+    }
+
+    /// Increment a counter by one.
+    pub fn inc(&self, id: MetricId) {
+        self.lock().inc(id);
+    }
+
+    /// Overwrite a gauge.
+    pub fn set(&self, id: MetricId, value: u64) {
+        self.lock().set(id, value);
+    }
+
+    /// Current value of a counter.
+    pub fn get(&self, id: MetricId) -> u64 {
+        self.lock().get(id)
+    }
+
+    /// Capture the current table as a labelled snapshot.
+    pub fn snapshot(&self, label: impl Into<String>, at: SimTime) {
+        self.lock().snapshot(label, at);
+    }
+
+    /// A frozen copy of the current state (names + snapshots so far);
+    /// the live registry keeps accumulating.
+    pub fn report(&self) -> MetricsReport {
+        let g = self.lock();
+        MetricsReport {
+            names: g.names.clone(),
+            snapshots: g.snapshots.clone(),
         }
     }
 }
@@ -246,5 +316,32 @@ mod tests {
     fn empty_report_is_valid_json() {
         let j = MetricsReport::default().to_json();
         assert_eq!(j, "{\"metrics\":[],\"snapshots\":[]}");
+    }
+
+    #[test]
+    fn shared_metrics_accumulate_across_clones_and_threads() {
+        let shared = SharedMetrics::new();
+        let hits = shared.register("sweep/cache_hits");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = shared.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        s.inc(hits);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.get(hits), 400);
+        shared.snapshot("final", SimTime::ZERO);
+        let r = shared.report();
+        assert_eq!(r.final_value("sweep/cache_hits"), Some(400));
+        // The live registry keeps going after a report.
+        shared.add(hits, 1);
+        assert_eq!(shared.get(hits), 401);
+        assert_eq!(r.final_value("sweep/cache_hits"), Some(400));
     }
 }

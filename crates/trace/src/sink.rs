@@ -11,7 +11,12 @@ use std::collections::VecDeque;
 ///
 /// Implementations must be cheap per [`record`](TraceSink::record) call:
 /// the simulator can emit millions of events per run.
-pub trait TraceSink {
+///
+/// `Send` is a supertrait so a `System` holding a boxed sink stays
+/// `Send`: the sweep engine moves whole simulations onto worker
+/// threads. Sinks are still driven by exactly one simulation at a time,
+/// so `Sync` is not required.
+pub trait TraceSink: Send {
     /// Whether this sink actually stores anything. Callers holding a
     /// sink by `&mut dyn` may skip building expensive payloads when this
     /// returns `false`.

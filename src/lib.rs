@@ -21,7 +21,10 @@
 //! * [`trace`] — event tracing (Chrome `trace_event` output) and the
 //!   hierarchical metrics registry;
 //! * [`core`] — the full system model, design points and baselines;
-//! * [`workloads`] — synthetic datasets and the eight applications.
+//! * [`workloads`] — synthetic datasets and the eight applications;
+//! * [`bench`] — the reproduction harness: the parallel sweep engine
+//!   with its content-addressed result cache, plus the table/figure
+//!   aggregation helpers behind the `repro` binary.
 //!
 //! # Quickstart
 //!
@@ -41,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub use ndpb_bench as bench;
 pub use ndpb_core as core;
 pub use ndpb_dram as dram;
 pub use ndpb_proto as proto;

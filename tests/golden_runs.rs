@@ -1,0 +1,182 @@
+//! Golden-run regression tests: re-simulate a small reference
+//! configuration for every design column (C/B/W/O/H/R) and diff the
+//! result field-by-field against a checked-in reference document.
+//!
+//! Any change to scheduling, routing, timing, energy accounting or RNG
+//! consumption shows up here as a precise field diff instead of a
+//! mysterious downstream number shift.
+//!
+//! When a change *intentionally* alters simulation results, regenerate
+//! the references and commit them together with the change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_runs
+//! ```
+//!
+//! The reference documents live in `tests/golden/*.json` in the result
+//! cache's codec (floats stored by bit pattern, so the comparison is
+//! exact, not epsilon-based).
+
+use std::path::PathBuf;
+
+use ndpbridge::bench::cache::{decode_result, encode_result};
+use ndpbridge::bench::{Column, SweepPoint, Sweeper};
+use ndpbridge::core::config::SystemConfig;
+use ndpbridge::core::design::DesignPoint;
+use ndpbridge::core::RunResult;
+use ndpbridge::dram::Geometry;
+use ndpbridge::workloads::Scale;
+
+/// The reference configuration: 2 ranks (128 units), fixed seed — big
+/// enough to exercise cross-rank bridge traffic, small enough to run
+/// all six columns in seconds.
+fn reference_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::with_geometry(Geometry::with_total_ranks(2));
+    cfg.seed = 11;
+    cfg
+}
+
+const APP: &str = "tree";
+
+fn columns() -> [Column; 6] {
+    [
+        Column::Ndp(DesignPoint::C),
+        Column::Ndp(DesignPoint::B),
+        Column::Ndp(DesignPoint::W),
+        Column::Ndp(DesignPoint::O),
+        Column::Host,
+        Column::Ndp(DesignPoint::R),
+    ]
+}
+
+fn golden_path(label: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{APP}_{label}.json"))
+}
+
+fn simulate_all() -> Vec<RunResult> {
+    let points = columns()
+        .iter()
+        .map(|&col| SweepPoint::new(APP, col, reference_cfg(), Scale::Tiny))
+        .collect();
+    // Through the production sweep path, bounded to two workers.
+    Sweeper::new(2).run(points)
+}
+
+/// Compares every scalar field, returning human-readable mismatch
+/// lines; empty = identical. Floats compare by bit pattern.
+fn diff_fields(golden: &RunResult, fresh: &RunResult) -> Vec<String> {
+    let mut d = Vec::new();
+    macro_rules! cmp {
+        ($field:ident) => {
+            if golden.$field != fresh.$field {
+                d.push(format!(
+                    "{}: golden {:?} != fresh {:?}",
+                    stringify!($field),
+                    golden.$field,
+                    fresh.$field
+                ));
+            }
+        };
+    }
+    macro_rules! cmp_f64 {
+        ($($path:tt)+) => {
+            if golden.$($path)+.to_bits() != fresh.$($path)+.to_bits() {
+                d.push(format!(
+                    "{}: golden {:?} != fresh {:?}",
+                    stringify!($($path)+),
+                    golden.$($path)+,
+                    fresh.$($path)+
+                ));
+            }
+        };
+    }
+    cmp!(app);
+    cmp!(design);
+    cmp!(makespan);
+    cmp!(avg_unit_time);
+    cmp!(max_unit_time);
+    cmp_f64!(wait_fraction);
+    cmp_f64!(balance);
+    cmp!(tasks_executed);
+    cmp!(tasks_rerouted);
+    cmp!(messages_delivered);
+    cmp!(rank_bus_bytes);
+    cmp!(channel_bytes);
+    cmp!(comm_dram_bytes);
+    cmp!(local_dram_bytes);
+    cmp!(lb_rounds);
+    cmp!(blocks_migrated);
+    cmp_f64!(energy.core_sram_pj);
+    cmp_f64!(energy.dram_local_pj);
+    cmp_f64!(energy.dram_comm_pj);
+    cmp_f64!(energy.static_pj);
+    cmp!(checksum);
+    cmp!(events);
+    cmp!(per_unit_busy);
+    cmp!(metrics);
+    d
+}
+
+#[test]
+fn designs_match_golden_references() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1");
+    let results = simulate_all();
+    let mut failures = Vec::new();
+    for (col, fresh) in columns().iter().zip(&results) {
+        let label = col.label();
+        let path = golden_path(&label);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, encode_result(fresh)).unwrap();
+            eprintln!("updated {}", path.display());
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden reference {} ({e}); regenerate with UPDATE_GOLDEN=1 cargo test --test golden_runs",
+                path.display()
+            )
+        });
+        let golden = decode_result(&text)
+            .unwrap_or_else(|| panic!("undecodable golden reference {}", path.display()));
+        let diffs = diff_fields(&golden, fresh);
+        if !diffs.is_empty() {
+            failures.push(format!("design {label}:\n  {}", diffs.join("\n  ")));
+        }
+        // The codec itself must also be byte-stable: re-encoding the
+        // fresh result reproduces the committed document exactly.
+        if diffs.is_empty() && encode_result(fresh) != text {
+            failures.push(format!(
+                "design {label}: fields match but serialized form differs (codec drift)"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "simulation drift vs tests/golden (if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test golden_runs and commit):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_references_are_exact_roundtrips() {
+    // Guard the guard: every committed document must decode and
+    // re-encode to the identical byte string.
+    for col in columns() {
+        let path = golden_path(&col.label());
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            // `designs_match_golden_references` reports missing files.
+            continue;
+        };
+        let decoded = decode_result(&text).expect("golden decodes");
+        assert_eq!(
+            encode_result(&decoded),
+            text,
+            "{} does not round-trip",
+            path.display()
+        );
+    }
+}

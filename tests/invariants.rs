@@ -1,0 +1,195 @@
+//! Cross-design invariants on a reduced Table-I configuration.
+//!
+//! These pin *semantic* relationships between the design points, where
+//! the golden tests pin exact numbers: orderings on geomean makespan,
+//! the internal consistency of the energy breakdown, and the busy-time
+//! statistics every run must satisfy.
+//!
+//! On design ordering, this reproduction robustly shows (geomean over
+//! all eight applications, reduced 4-rank geometry):
+//!
+//! * **C is the slowest design** — host-forwarded communication with no
+//!   load balancing loses to every bridge variant;
+//! * **O is at least as fast as W** — the hierarchical
+//!   data-transfer-aware balancer never loses to naive work stealing.
+//!
+//! The paper's full chain C < B < W ≤ O (Figure 10 speedups: B 1.51x,
+//! W 2.23x, O 2.98x) does **not** fully reproduce at reduced scale: W's
+//! naive work stealing moves data so aggressively that it underperforms
+//! B on geomean here (the paper itself notes W can hurt, e.g. on
+//! tree). We therefore pin the scale-robust sub-chain above rather than
+//! assert an ordering this codebase does not exhibit; the W-vs-B gap is
+//! tracked in ROADMAP.md as a fidelity item.
+
+use ndpbridge::bench::{Column, SweepPoint, Sweeper};
+use ndpbridge::core::config::SystemConfig;
+use ndpbridge::core::design::DesignPoint;
+use ndpbridge::core::result::geomean;
+use ndpbridge::core::RunResult;
+use ndpbridge::dram::Geometry;
+use ndpbridge::workloads::{Scale, APP_NAMES};
+
+/// Reduced Table-I config: 4 ranks (256 units), fixed seed.
+fn reduced_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::with_geometry(Geometry::with_total_ranks(4));
+    cfg.seed = 11;
+    cfg
+}
+
+const DESIGNS: [DesignPoint; 4] = [
+    DesignPoint::C,
+    DesignPoint::B,
+    DesignPoint::W,
+    DesignPoint::O,
+];
+
+/// All designs × all apps through the sweep engine; `[design][app]`.
+/// Simulated once and shared across the test functions (the harness
+/// runs them in threads of one process).
+fn run_all() -> &'static Vec<Vec<RunResult>> {
+    static ALL: std::sync::OnceLock<Vec<Vec<RunResult>>> = std::sync::OnceLock::new();
+    ALL.get_or_init(|| {
+        let points = DESIGNS
+            .iter()
+            .flat_map(|&d| {
+                APP_NAMES.iter().map(move |&app| {
+                    SweepPoint::new(app, Column::Ndp(d), reduced_cfg(), Scale::Tiny)
+                })
+            })
+            .collect();
+        let mut flat = Sweeper::new(8).run(points).into_iter();
+        DESIGNS
+            .iter()
+            .map(|_| flat.by_ref().take(APP_NAMES.len()).collect())
+            .collect()
+    })
+}
+
+fn geomean_makespan(row: &[RunResult]) -> f64 {
+    geomean(
+        &row.iter()
+            .map(|r| r.makespan.ticks() as f64)
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[test]
+fn design_ordering_on_geomean_makespan() {
+    let m = run_all();
+    let [c, b, w, o] = [
+        geomean_makespan(&m[0]),
+        geomean_makespan(&m[1]),
+        geomean_makespan(&m[2]),
+        geomean_makespan(&m[3]),
+    ];
+    assert!(
+        b < c,
+        "bridge communication must beat host forwarding: B {b:.0} !< C {c:.0}"
+    );
+    assert!(
+        w < c,
+        "work stealing over bridges must beat plain C: W {w:.0} !< C {c:.0}"
+    );
+    assert!(
+        o < c,
+        "the full design must beat plain C: O {o:.0} !< C {c:.0}"
+    );
+    assert!(
+        o <= w,
+        "data-transfer-aware LB must not lose to naive stealing: O {o:.0} !<= W {w:.0}"
+    );
+}
+
+#[test]
+fn energy_breakdown_is_internally_consistent() {
+    for row in run_all() {
+        for r in row {
+            let e = &r.energy;
+            for (name, v) in [
+                ("core_sram", e.core_sram_pj),
+                ("dram_local", e.dram_local_pj),
+                ("dram_comm", e.dram_comm_pj),
+                ("static", e.static_pj),
+            ] {
+                assert!(
+                    v.is_finite() && v >= 0.0,
+                    "{}/{}: {name} energy {v} out of range",
+                    r.app,
+                    r.design
+                );
+            }
+            let sum = e.core_sram_pj + e.dram_local_pj + e.dram_comm_pj + e.static_pj;
+            assert_eq!(
+                sum.to_bits(),
+                e.total_pj().to_bits(),
+                "{}/{}: components must sum to total",
+                r.app,
+                r.design
+            );
+            assert!(e.total_pj() > 0.0, "{}/{}: zero energy", r.app, r.design);
+            let fsum: f64 = e.fractions().iter().sum();
+            assert!(
+                (fsum - 1.0).abs() < 1e-9,
+                "{}/{}: fractions sum to {fsum}",
+                r.app,
+                r.design
+            );
+        }
+    }
+}
+
+#[test]
+fn busy_time_statistics_are_consistent() {
+    for row in run_all() {
+        for r in row {
+            let ctx = format!("{}/{}", r.app, r.design);
+            assert!(
+                r.max_unit_time >= r.avg_unit_time,
+                "{ctx}: max < avg busy time"
+            );
+            assert!(
+                r.makespan >= r.max_unit_time,
+                "{ctx}: a unit was busy past the makespan"
+            );
+            assert_eq!(
+                r.per_unit_busy.iter().copied().max().unwrap_or(0),
+                r.max_unit_time.ticks(),
+                "{ctx}: max_unit_time must be the max of per_unit_busy"
+            );
+            let mean =
+                r.per_unit_busy.iter().sum::<u64>() as f64 / r.per_unit_busy.len().max(1) as f64;
+            assert!(
+                (mean - r.avg_unit_time.ticks() as f64).abs() <= 1.0,
+                "{ctx}: avg_unit_time {} disagrees with per_unit_busy mean {mean}",
+                r.avg_unit_time.ticks()
+            );
+            assert!(
+                (0.0..=1.0).contains(&r.wait_fraction),
+                "{ctx}: wait_fraction {}",
+                r.wait_fraction
+            );
+            assert!(
+                r.balance > 0.0 && r.balance <= 1.0,
+                "{ctx}: balance {}",
+                r.balance
+            );
+            assert!(r.tasks_executed > 0, "{ctx}: no work done");
+        }
+    }
+}
+
+#[test]
+fn checksums_agree_across_designs() {
+    // Scheduling and migration change *where* tasks run, never the
+    // application-level result.
+    let m = run_all();
+    for (i, app) in APP_NAMES.iter().enumerate() {
+        let reference = m[0][i].checksum;
+        for row in m {
+            assert_eq!(
+                row[i].checksum, reference,
+                "{app}: checksum diverged across designs"
+            );
+        }
+    }
+}
