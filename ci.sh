@@ -41,4 +41,18 @@ cmp "$SMOKE_DIR/j1.txt" "$SMOKE_DIR/j2.txt"
 cmp "$SMOKE_DIR/j1.txt" "$SMOKE_DIR/warm.txt"
 grep -q "8 cache hits, 0 simulated" "$SMOKE_DIR/warm.err"
 
+echo "== repro audit smoke: conservation laws under --audit =="
+# A fully-audited sweep (every epoch checks message conservation,
+# toArrive balance, dataBorrowed inclusivity, ledger totals, bus
+# sanity) aborts non-zero on any violation; release builds default the
+# auditor off, so --audit is what engages it here. Audited points key
+# the cache differently, so this cannot be satisfied by the entries
+# the smoke above just wrote. The breakdown must also balance: the
+# `audit` subcommand asserts ledger-rows == comm totals internally and
+# prints the zero-violations line only after all points complete.
+"$REPRO" "${SMOKE_ARGS[@]}" --audit --jobs 2 --cache-dir "$SMOKE_DIR/cache" > "$SMOKE_DIR/audited.txt" 2>/dev/null
+cmp "$SMOKE_DIR/j1.txt" "$SMOKE_DIR/audited.txt"   # auditor is observational
+"$REPRO" audit --tiny --apps tree,spmv --jobs 2 --no-cache > "$SMOKE_DIR/ledger.txt" 2>/dev/null
+grep -q "auditor: zero violations" "$SMOKE_DIR/ledger.txt"
+
 echo "CI OK"

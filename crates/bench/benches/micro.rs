@@ -62,7 +62,7 @@ fn main() {
     bench("micro/mailbox_push_drain_10k", ITERS, || {
         let mut mb = Mailbox::new(1 << 20);
         for _ in 0..10_000 {
-            mb.push(Message::Task(task, false)).unwrap();
+            mb.push(Message::Task(task, None)).unwrap();
         }
         let mut n = 0;
         while !mb.is_empty() {

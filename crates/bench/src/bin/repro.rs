@@ -7,7 +7,15 @@
 //! ```
 //!
 //! Subcommands: `table1 table2 fig2 fig10 fig11 fig12 fig13 fig14a
-//! fig14b fig15 fig16a fig16b fig16c fig16d split-dimm all`.
+//! fig14b fig15 fig16a fig16b fig16c fig16d split-dimm dimm-link
+//! audit all`.
+//!
+//! `--audit` forces the conservation auditor on for every simulated
+//! point (message conservation, toArrive balance, dataBorrowed
+//! inclusivity, traffic-ledger totals, bus sanity — checked at every
+//! epoch boundary; a violation aborts with the full list). The `audit`
+//! subcommand additionally prints the per-cause traffic-ledger
+//! breakdown for designs B and W.
 //!
 //! Simulations fan out over the sweep engine: `--jobs N` bounds the
 //! worker pool (default: all hardware threads) and results are merged
@@ -22,6 +30,7 @@
 //! numbers for comparison.
 
 use ndpb_bench::{format_speedup_table, matrix_geomean_speedup, run_matrix, Column};
+use ndpb_core::audit::AuditLevel;
 use ndpb_core::config::{SystemConfig, TriggerPolicy};
 use ndpb_core::design::DesignPoint;
 use ndpb_core::result::geomean;
@@ -38,6 +47,7 @@ struct Opts {
     jobs: Option<usize>,
     cache_dir: Option<String>,
     no_cache: bool,
+    audit: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -49,6 +59,7 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut jobs = None;
     let mut cache_dir = None;
     let mut no_cache = false;
+    let mut audit = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -72,6 +83,7 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--cache-dir" => cache_dir = it.next().cloned(),
             "--no-cache" => no_cache = true,
+            "--audit" => audit = true,
             _ => {}
         }
     }
@@ -84,6 +96,7 @@ fn parse_opts(args: &[String]) -> Opts {
         jobs,
         cache_dir,
         no_cache,
+        audit,
     }
 }
 
@@ -100,6 +113,11 @@ fn configure_sweep(o: &Opts) {
             .clone()
             .unwrap_or_else(|| "target/repro-cache".to_string());
         sweeper = sweeper.with_cache(dir);
+    }
+    if o.audit {
+        // Conservation audit at every epoch boundary; any violated
+        // invariant aborts the run with the full violation list.
+        sweeper = sweeper.with_audit(AuditLevel::Full);
     }
     ndpb_bench::sweep::configure(sweeper);
 }
@@ -135,7 +153,11 @@ fn traced_run(o: &Opts) {
     };
     let design = DesignPoint::O;
     println!("== instrumented run: {app} on design {design} ==");
-    let r = ndpb_bench::run_traced(app, design, SystemConfig::table1(), o.scale, 1 << 20);
+    let mut cfg = SystemConfig::table1();
+    if o.audit {
+        cfg.audit = AuditLevel::Full;
+    }
+    let r = ndpb_bench::run_traced(app, design, cfg, o.scale, 1 << 20);
     println!("{}", r.row());
     if let Some(path) = &o.trace {
         let write = || -> std::io::Result<()> {
@@ -653,6 +675,91 @@ fn dimm_link(o: &Opts) {
     println!("geomean {:>11.2}x", geomean(&sp));
 }
 
+/// `repro audit`: fully-audited B-vs-W runs with the per-cause traffic
+/// ledger broken down Figure-13-style. Every epoch boundary checks
+/// message conservation, toArrive balance, dataBorrowed inclusivity,
+/// ledger totals and bus sanity; any violation aborts the run, so a
+/// completed table doubles as an invariant certificate.
+fn audit_breakdown(o: &Opts) {
+    println!("== Traffic ledger: per-cause DRAM data movement, B vs W (audited) ==");
+    println!("(W adds work stealing over B; the ledger shows where the extra bytes");
+    println!(" go — scheduled-task mail, block migration, return traffic.)\n");
+    let apps = app_refs(o);
+    let cols = [Column::Ndp(DesignPoint::B), Column::Ndp(DesignPoint::W)];
+    let m = run_matrix(
+        &apps,
+        &cols,
+        || {
+            let mut c = SystemConfig::table1();
+            c.audit = AuditLevel::Full;
+            c
+        },
+        o.scale,
+    );
+    let groups: [(&str, &[&str]); 6] = [
+        ("taskq", &["ledger/comm/taskq"]),
+        (
+            "mailbox",
+            &[
+                "ledger/comm/mail_task",
+                "ledger/comm/mail_sched",
+                "ledger/comm/mail_data",
+                "ledger/comm/mail_return",
+            ],
+        ),
+        ("gather", &["ledger/comm/gather"]),
+        ("scatter", &["ledger/comm/scatter"]),
+        (
+            "host",
+            &["ledger/comm/host_gather", "ledger/comm/host_scatter"],
+        ),
+        ("rowclone", &["ledger/comm/rowclone"]),
+    ];
+    let bytes = |r: &ndpb_core::RunResult, names: &[&str]| -> u64 {
+        names.iter().filter_map(|n| r.metrics.final_value(n)).sum()
+    };
+    print!("{:<8}{:<8}", "app", "design");
+    for (g, _) in &groups {
+        print!("{g:>10}");
+    }
+    println!("{:>10}{:>12}", "total", "makespan");
+    for (i, app) in apps.iter().enumerate() {
+        for (j, c) in cols.iter().enumerate() {
+            let r = &m[i][j];
+            print!("{:<8}{:<8}", app, c.label());
+            for (_, names) in &groups {
+                print!("{:>10}", bytes(r, names) >> 10);
+            }
+            println!(
+                "{:>10}{:>10.1}us",
+                r.comm_dram_bytes >> 10,
+                r.makespan.as_ns() / 1000.0
+            );
+        }
+    }
+    println!("(traffic columns in KB; the ledger rows sum to `total` exactly —");
+    println!(" the auditor checks that identity at every epoch)\n");
+    println!("W vs B per cause (geomean bytes ratio; >1 = W moves more):");
+    for (g, names) in &groups {
+        let ratios: Vec<f64> = (0..apps.len())
+            .map(|i| bytes(&m[i][1], names).max(1) as f64 / bytes(&m[i][0], names).max(1) as f64)
+            .collect();
+        println!("  {g:<10}{:>8.2}x", geomean(&ratios));
+    }
+    let perf: Vec<f64> = (0..apps.len())
+        .map(|i| m[i][0].makespan.ticks() as f64 / m[i][1].makespan.ticks() as f64)
+        .collect();
+    let comm: Vec<f64> = (0..apps.len())
+        .map(|i| m[i][1].comm_dram_bytes.max(1) as f64 / m[i][0].comm_dram_bytes.max(1) as f64)
+        .collect();
+    println!(
+        "\nW speedup over B (geomean): {:.2}x   W/B total comm bytes: {:.2}x",
+        geomean(&perf),
+        geomean(&comm)
+    );
+    println!("auditor: zero violations (a violation would have aborted the sweep)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Flags-first invocation (`repro --trace out.json`) implies the
@@ -684,6 +791,7 @@ fn main() {
         "fig16d" => fig16cd(&o, false),
         "split-dimm" => split_dimm(&o),
         "dimm-link" => dimm_link(&o),
+        "audit" => audit_breakdown(&o),
         "all" => {
             table1();
             println!();
@@ -714,7 +822,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown subcommand {other:?}");
-            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--jobs N] [--cache-dir path] [--no-cache] [--json path] [--trace path] [--metrics-json path]");
+            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|audit|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--jobs N] [--cache-dir path] [--no-cache] [--audit] [--json path] [--trace path] [--metrics-json path]");
             std::process::exit(2);
         }
     }

@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex, OnceLock};
 use std::thread;
 
+use ndpb_core::audit::AuditLevel;
 use ndpb_core::config::SystemConfig;
 use ndpb_core::result::RunResult;
 use ndpb_sim::SimTime;
@@ -84,6 +85,7 @@ impl SweepPoint {
 pub struct Sweeper {
     jobs: usize,
     cache: Option<ResultCache>,
+    audit: Option<AuditLevel>,
     metrics: SharedMetrics,
     sweeps_run: AtomicU64,
 }
@@ -94,6 +96,7 @@ impl Sweeper {
         Sweeper {
             jobs: jobs.max(1),
             cache: None,
+            audit: None,
             metrics: SharedMetrics::new(),
             sweeps_run: AtomicU64::new(0),
         }
@@ -103,6 +106,22 @@ impl Sweeper {
     pub fn with_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.cache = Some(ResultCache::new(dir));
         self
+    }
+
+    /// Forces every point's [`AuditLevel`] (the `repro --audit` flag).
+    ///
+    /// The override is applied *before* the cache key is computed — the
+    /// audit level is part of `SystemConfig::fingerprint`, so an
+    /// audited sweep is never satisfied by a cached unaudited result
+    /// (which would silently skip the invariant checks).
+    pub fn with_audit(mut self, level: AuditLevel) -> Self {
+        self.audit = Some(level);
+        self
+    }
+
+    /// The forced audit level, if any.
+    pub fn audit(&self) -> Option<AuditLevel> {
+        self.audit
     }
 
     /// Worker count.
@@ -139,7 +158,10 @@ impl Sweeper {
 
         let mut slots: Vec<Option<RunResult>> = (0..points.len()).map(|_| None).collect();
         let mut pending: VecDeque<(usize, SweepPoint)> = VecDeque::new();
-        for (i, p) in points.into_iter().enumerate() {
+        for (i, mut p) in points.into_iter().enumerate() {
+            if let Some(level) = self.audit {
+                p.cfg.audit = level;
+            }
             match self.cache.as_ref().and_then(|c| c.load(p.key())) {
                 Some(hit) => {
                     m.inc(hits_id);
@@ -307,6 +329,47 @@ mod tests {
             "warm rerun must not simulate"
         );
         assert!(warm.summary().unwrap().contains("6 cache hits"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn audited_sweep_bypasses_unaudited_cache_but_matches_results() {
+        let dir = std::env::temp_dir().join(format!("ndpb-sweep-audit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Cold unaudited sweep populates the cache. `Off` is forced
+        // explicitly — under debug builds the config *default* is
+        // already `Full`, which would collapse the two key spaces.
+        let plain = Sweeper::new(2).with_cache(&dir).with_audit(AuditLevel::Off);
+        let baseline = fingerprint(&plain.run(points()));
+
+        // The audited sweep must not consume those entries (the audit
+        // level is folded into the key), yet — the auditor being purely
+        // observational — its results must be bit-identical.
+        let audited = Sweeper::new(2)
+            .with_cache(&dir)
+            .with_audit(AuditLevel::Full);
+        assert_eq!(audited.audit(), Some(AuditLevel::Full));
+        let got = fingerprint(&audited.run(points()));
+        assert_eq!(got, baseline, "audit must not perturb results");
+        let report = audited.metrics().report();
+        assert_eq!(
+            report.final_value("sweep/cache_hits"),
+            Some(0),
+            "audited points must never reuse unaudited cache entries"
+        );
+        assert_eq!(report.final_value("sweep/simulated"), Some(6));
+
+        // A second audited sweep hits the now-audited entries.
+        let warm = Sweeper::new(2)
+            .with_cache(&dir)
+            .with_audit(AuditLevel::Full);
+        assert_eq!(fingerprint(&warm.run(points())), baseline);
+        assert_eq!(
+            warm.metrics().report().final_value("sweep/cache_hits"),
+            Some(6)
+        );
 
         let _ = std::fs::remove_dir_all(&dir);
     }

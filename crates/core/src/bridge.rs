@@ -224,6 +224,21 @@ impl RankBridge {
         self.backup_bytes
     }
 
+    /// Iterates over every message buffered in this bridge — scatter
+    /// buffers then backup (the upward mailbox has its own iterator).
+    /// For auditing; order is unspecified.
+    pub fn buffered_messages(&self) -> impl Iterator<Item = &Message> {
+        self.scatter
+            .iter()
+            .flatten()
+            .chain(self.backup.iter().map(|(_, m)| m))
+    }
+
+    /// Number of messages buffered in scatter + backup.
+    pub fn buffered_msg_count(&self) -> usize {
+        self.scatter.iter().map(VecDeque::len).sum::<usize>() + self.backup.len()
+    }
+
     /// Children whose queue (plus in-flight correction when enabled)
     /// falls below `threshold` — the load-balancing receivers.
     pub fn idle_children(&self, threshold: u64, correction: bool) -> Vec<usize> {
@@ -326,6 +341,16 @@ impl HostBridge {
     pub fn has_pending(&self) -> bool {
         self.scatter.iter().any(|q| !q.is_empty())
     }
+
+    /// Iterates over every message queued for any rank (auditing).
+    pub fn buffered_messages(&self) -> impl Iterator<Item = &Message> {
+        self.scatter.iter().flatten()
+    }
+
+    /// Number of messages queued across all ranks.
+    pub fn buffered_msg_count(&self) -> usize {
+        self.scatter.iter().map(VecDeque::len).sum()
+    }
 }
 
 #[cfg(test)]
@@ -345,7 +370,7 @@ mod tests {
     fn msg() -> Message {
         Message::Task(
             Task::new(TaskFnId(0), Timestamp(0), DataAddr(0), 1, TaskArgs::EMPTY),
-            false,
+            None,
         )
     }
 

@@ -1,5 +1,6 @@
 //! System configuration (Table I) and sweep knobs.
 
+use crate::audit::AuditLevel;
 use ndpb_dram::{DramTiming, EnergyParams, Geometry};
 use ndpb_sim::{SimTime, TICKS_PER_CORE_CYCLE};
 use ndpb_sketch::SketchConfig;
@@ -67,6 +68,11 @@ pub struct SystemConfig {
     pub dimm_link: Option<u32>,
     /// Master seed for all randomized decisions (matching, decay).
     pub seed: u64,
+    /// Conservation-audit level. Purely observational (any level
+    /// produces bit-identical results), but deliberately part of the
+    /// fingerprint: an audited sweep must never be satisfied by a
+    /// cached result whose run was not actually audited.
+    pub audit: AuditLevel,
 }
 
 impl SystemConfig {
@@ -92,6 +98,7 @@ impl SystemConfig {
             host_round_latency: SimTime::from_ns_ceil(500),
             dimm_link: None,
             seed: 0x5EED,
+            audit: AuditLevel::default(),
         }
     }
 
@@ -289,6 +296,17 @@ mod tests {
         c.trigger = TriggerPolicy::Fixed2IMin;
         assert_ne!(c.fingerprint(), base);
         assert_ne!(SystemConfig::table1().with_dimm_link().fingerprint(), base);
+        let mut c = SystemConfig::table1();
+        c.audit = if c.audit == AuditLevel::Off {
+            AuditLevel::Full
+        } else {
+            AuditLevel::Off
+        };
+        assert_ne!(
+            c.fingerprint(),
+            base,
+            "an audited sweep must not reuse unaudited cache entries"
+        );
         assert_ne!(
             SystemConfig::with_geometry(ndpb_dram::Geometry::with_total_ranks(1)).fingerprint(),
             base

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod bridge;
 pub mod config;
 pub mod design;
@@ -29,6 +30,7 @@ pub mod result;
 pub mod system;
 pub mod unit;
 
+pub use audit::{AuditLevel, Violation};
 pub use config::{SystemConfig, TriggerPolicy};
 pub use design::{CommPath, DesignPoint, LbPolicy};
 pub use result::RunResult;

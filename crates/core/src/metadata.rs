@@ -140,6 +140,11 @@ impl LentBitmap {
     pub fn count(&self) -> usize {
         self.lent.len()
     }
+
+    /// Iterates over the lent blocks in unspecified order (auditing).
+    pub fn iter(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.lent.iter().copied()
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,8 @@
 //! bridge gather/scatter rounds with dynamic triggering (Section V),
 //! and hierarchical data-transfer-aware load balancing (Section VI).
 
+use std::collections::HashMap;
+
 use ndpb_dram::{AddressMap, BlockAddr, Bus, EnergyBreakdown, UnitId};
 use ndpb_proto::message::DataMessage;
 use ndpb_proto::Message;
@@ -15,6 +17,7 @@ use ndpb_sim::{EventQueue, SimRng, SimTime, TICKS_PER_CORE_CYCLE};
 use ndpb_tasks::{Application, ExecCtx, Task, Timestamp};
 use ndpb_trace::{ComponentId, MetricId, MetricsRegistry, TraceEvent, TraceRecord, TraceSink};
 
+use crate::audit::{AuditLevel, Violation};
 use crate::bridge::{HostBridge, RankBridge};
 use crate::config::{w_threshold, SystemConfig, TriggerPolicy};
 use crate::design::{CommPath, DesignPoint, LbPolicy};
@@ -85,6 +88,152 @@ pub struct System {
     /// Supersedes the loose aggregate fields this struct used to carry.
     metrics: MetricsRegistry,
     m: SysMetrics,
+    /// Conservation-audit bookkeeping (see [`crate::audit`]); inert
+    /// when `cfg.audit` is [`AuditLevel::Off`].
+    audit: AuditState,
+}
+
+/// Per-cause attribution of communication-DRAM traffic. Every byte
+/// added to `system/comm_dram_bytes` is also charged to exactly one
+/// cause (via [`System::charge_comm`]), so the ledger rows sum to the
+/// total — an equality the auditor checks.
+#[derive(Debug, Clone, Copy)]
+enum CommCause {
+    /// Local in-DRAM task-queue appends (same-unit spawns).
+    Taskq,
+    /// RowClone bank-to-bank copies (design R).
+    RowClone,
+    /// Mailbox writes of ordinary task messages.
+    MailTask,
+    /// Mailbox writes of LB-scheduled task messages.
+    MailSched,
+    /// Mailbox writes of block-assignment data messages.
+    MailData,
+    /// Mailbox writes of return-home data messages.
+    MailReturn,
+    /// Bridge gather reads of bank mailbox regions.
+    Gather,
+    /// Bridge scatter writes into destination banks.
+    Scatter,
+    /// Host direct-poll gather reads (designs C/R).
+    HostGather,
+    /// Host direct scatter writes (designs C/R).
+    HostScatter,
+}
+
+impl CommCause {
+    const NAMES: [&'static str; 10] = [
+        "ledger/comm/taskq",
+        "ledger/comm/rowclone",
+        "ledger/comm/mail_task",
+        "ledger/comm/mail_sched",
+        "ledger/comm/mail_data",
+        "ledger/comm/mail_return",
+        "ledger/comm/gather",
+        "ledger/comm/scatter",
+        "ledger/comm/host_gather",
+        "ledger/comm/host_scatter",
+    ];
+}
+
+/// Per-cause attribution of SRAM staging traffic (the
+/// `system/sram_staged_bytes` counterpart of [`CommCause`]).
+#[derive(Debug, Clone, Copy)]
+enum SramCause {
+    /// Borrowed-region metadata updates on block admission.
+    BorrowMeta,
+    /// Messages staged into bridge buffers during gathers.
+    BridgeGather,
+    /// Messages staged out of bridge buffers during scatters.
+    BridgeScatter,
+    /// STATE-GATHER child-state bytes.
+    State,
+    /// DIMM-Link staging.
+    Link,
+    /// Host-bridge gather staging (level-2 rounds).
+    HostGather,
+}
+
+impl SramCause {
+    const NAMES: [&'static str; 6] = [
+        "ledger/sram/borrow_meta",
+        "ledger/sram/bridge_gather",
+        "ledger/sram/bridge_scatter",
+        "ledger/sram/state",
+        "ledger/sram/link",
+        "ledger/sram/host_gather",
+    ];
+}
+
+/// Bookkeeping for messages riding inside queued `Deliver` /
+/// `LinkDeliver` events, which the conservation audit cannot scan out
+/// of the event queue, plus violations flagged inline at update sites.
+/// Only maintained while `enabled` (i.e. `cfg.audit != Off`).
+#[derive(Debug, Default)]
+struct AuditState {
+    enabled: bool,
+    /// Message-carrying events currently queued.
+    sched_events: u64,
+    /// Data-block occurrence counts inside queued events.
+    sched_data_blocks: HashMap<u64, u32>,
+    /// Scheduled-task workload inside queued events, keyed by the
+    /// intended receiver unit.
+    sched_task_toward: HashMap<u32, u64>,
+    /// Violations caught at update sites (e.g. a `toArrive` counter
+    /// that would have gone negative), reported at the next scan.
+    flagged: Vec<Violation>,
+}
+
+impl AuditState {
+    fn note_scheduled(&mut self, msg: &Message) {
+        self.sched_events += 1;
+        match msg {
+            Message::Task(t, Some(dest)) => {
+                *self.sched_task_toward.entry(dest.0).or_insert(0) += t.workload_or_default();
+            }
+            Message::Data(dm, _) => {
+                *self.sched_data_blocks.entry(dm.block.0).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn note_delivered(&mut self, msg: &Message) {
+        self.sched_events = self.sched_events.saturating_sub(1);
+        match msg {
+            Message::Task(t, Some(dest)) => {
+                if let Some(w) = self.sched_task_toward.get_mut(&dest.0) {
+                    *w = w.saturating_sub(t.workload_or_default());
+                    if *w == 0 {
+                        self.sched_task_toward.remove(&dest.0);
+                    }
+                }
+            }
+            Message::Data(dm, _) => {
+                if let Some(c) = self.sched_data_blocks.get_mut(&dm.block.0) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.sched_data_blocks.remove(&dm.block.0);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn flag(&mut self, law: &'static str, detail: String) {
+        if self.flagged.len() < 16 {
+            self.flagged.push(Violation { law, detail });
+        }
+    }
+}
+
+/// Every in-flight message the audit can reach by scanning mailboxes
+/// and buffers, merged with the queued-event view from [`AuditState`].
+struct InFlight {
+    msgs: u64,
+    data_blocks: HashMap<u64, u32>,
+    task_toward: HashMap<u32, u64>,
 }
 
 /// Pre-registered [`MetricId`]s for the system's counters, so hot paths
@@ -114,6 +263,12 @@ struct SysMetrics {
     host_lb_rounds: MetricId,
     bus_rank_bytes: MetricId,
     bus_channel_bytes: MetricId,
+    sketch_reserved_peak_chunks: MetricId,
+    sketch_reserved_peak_tasks: MetricId,
+    /// Per-cause traffic ledger rows, indexed by [`CommCause`].
+    ledger_comm: [MetricId; 10],
+    /// Per-cause SRAM staging rows, indexed by [`SramCause`].
+    ledger_sram: [MetricId; 6],
 }
 
 impl SysMetrics {
@@ -141,6 +296,10 @@ impl SysMetrics {
             host_lb_rounds: reg.register("host/lb_rounds"),
             bus_rank_bytes: reg.register("bus/rank_bytes"),
             bus_channel_bytes: reg.register("bus/channel_bytes"),
+            sketch_reserved_peak_chunks: reg.register("sketch/reserved_peak_chunks"),
+            sketch_reserved_peak_tasks: reg.register("sketch/reserved_peak_tasks"),
+            ledger_comm: CommCause::NAMES.map(|n| reg.register(n)),
+            ledger_sram: SramCause::NAMES.map(|n| reg.register(n)),
         }
     }
 }
@@ -219,6 +378,10 @@ impl System {
             .and_then(|v| v.to_string_lossy().parse::<u64>().ok());
         let mut metrics = MetricsRegistry::new();
         let m = SysMetrics::register(&mut metrics);
+        let audit = AuditState {
+            enabled: cfg.audit != AuditLevel::Off,
+            ..AuditState::default()
+        };
         System {
             comm: design.comm_path(),
             lb: design.lb_policy(),
@@ -239,8 +402,40 @@ impl System {
             trace: None,
             metrics,
             m,
+            audit,
             cfg,
         }
+    }
+
+    /// Charges communication-DRAM traffic to the system total and the
+    /// matching per-cause ledger row (the audit checks they stay equal).
+    fn charge_comm(&mut self, cause: CommCause, bytes: u64) {
+        self.metrics.add(self.m.comm_dram_bytes, bytes);
+        self.metrics.add(self.m.ledger_comm[cause as usize], bytes);
+    }
+
+    /// Charges SRAM staging traffic to the total and its ledger row.
+    fn charge_sram(&mut self, cause: SramCause, bytes: u64) {
+        self.metrics.add(self.m.sram_staged_bytes, bytes);
+        self.metrics.add(self.m.ledger_sram[cause as usize], bytes);
+    }
+
+    /// Schedules a message delivery to unit `u`, keeping the audit's
+    /// view of messages queued inside events current.
+    fn schedule_delivery(&mut self, at: SimTime, u: usize, msg: Message) {
+        if self.audit.enabled {
+            self.audit.note_scheduled(&msg);
+        }
+        self.q.schedule(at, Ev::Deliver(u as u32, msg));
+    }
+
+    /// Schedules a DIMM-Link delivery to rank `r` (see
+    /// [`Self::schedule_delivery`]).
+    fn schedule_link_delivery(&mut self, at: SimTime, r: usize, msg: Message) {
+        if self.audit.enabled {
+            self.audit.note_scheduled(&msg);
+        }
+        self.q.schedule(at, Ev::LinkDeliver(r as u32, msg));
     }
 
     /// Attaches a trace sink; events recorded during [`run`](Self::run)
@@ -425,7 +620,7 @@ impl System {
         if !self.units[u].holds_block(block, &self.map) {
             // The block migrated while this task waited: re-route it.
             self.units[u].stats.tasks_rerouted.inc();
-            let msg = Message::Task(task, false);
+            let msg = Message::Task(task, None);
             self.emit_message(u, msg, now);
             self.wake_unit(u, now);
             return;
@@ -511,6 +706,7 @@ impl System {
         if self.units[u].holds_block(block, &self.map) {
             // Local: enqueue directly (a cheap in-DRAM task-queue append).
             let timing = self.cfg.timing.clone();
+            self.charge_comm(CommCause::Taskq, task.wire_bytes() as u64);
             let unit = &mut self.units[u];
             unit.bank.access_traced(
                 now,
@@ -521,8 +717,6 @@ impl System {
                 ComponentId::Unit(u as u32),
                 sink(&mut self.trace),
             );
-            self.metrics
-                .add(self.m.comm_dram_bytes, task.wire_bytes() as u64);
             let hot = self.lb.hot_data;
             if self.epochs.is_ready(task.ts) {
                 let map = &self.map;
@@ -541,7 +735,7 @@ impl System {
                 return;
             }
         }
-        self.emit_message(u, Message::Task(task, false), now);
+        self.emit_message(u, Message::Task(task, None), now);
     }
 
     /// Direct bank-to-bank transfer over the chip-internal bus (R).
@@ -569,16 +763,28 @@ impl System {
             ComponentId::Unit(dst as u32),
             sink(&mut self.trace),
         );
-        self.metrics.add(self.m.comm_dram_bytes, 128);
+        self.charge_comm(CommCause::RowClone, 128);
         self.units[src].stats.msgs_emitted.inc();
-        self.q
-            .schedule(end, Ev::Deliver(dst as u32, Message::Task(task, false)));
+        self.schedule_delivery(end, dst, Message::Task(task, None));
     }
 
     /// Puts a message into `u`'s mailbox (stalling the core when full),
     /// charging the in-DRAM mailbox write.
     fn emit_message(&mut self, u: usize, msg: Message, now: SimTime) {
         let bytes = msg.wire_bytes();
+        let cause = match &msg {
+            Message::Task(_, None) => CommCause::MailTask,
+            Message::Task(_, Some(_)) => CommCause::MailSched,
+            Message::Data(dm, dest) => {
+                if *dest == Some(self.map.block_home(dm.block)) {
+                    CommCause::MailReturn
+                } else {
+                    CommCause::MailData
+                }
+            }
+            Message::State(_) => CommCause::MailTask,
+        };
+        self.charge_comm(cause, bytes as u64);
         let timing = self.cfg.timing.clone();
         let comp = ComponentId::Unit(u as u32);
         let unit = &mut self.units[u];
@@ -591,7 +797,6 @@ impl System {
             comp,
             sink(&mut self.trace),
         );
-        self.metrics.add(self.m.comm_dram_bytes, bytes as u64);
         unit.stats.msgs_emitted.inc();
         if !unit.pending_out.is_empty() {
             unit.pending_out.push_back(msg);
@@ -643,18 +848,38 @@ impl System {
 
     fn on_deliver(&mut self, u: usize, msg: Message) {
         let now = self.q.now();
+        if self.audit.enabled {
+            self.audit.note_delivered(&msg);
+        }
         self.metrics.inc(self.m.msgs_delivered);
         self.units[u].stats.msgs_received.inc();
         match msg {
             Message::Task(task, scheduled) => {
-                if scheduled && self.comm == CommPath::Bridges {
-                    let r = self.cfg.geometry.rank_of(self.units[u].id).index();
-                    let local = self.local_index(u);
-                    let wl = task.workload_or_default();
-                    let b = &mut self.bridges[r];
-                    b.to_arrive[local] = b.to_arrive[local].saturating_sub(wl);
-                    let hr = r;
-                    self.host.to_arrive[hr] = self.host.to_arrive[hr].saturating_sub(wl);
+                // First delivery of an LB-scheduled task settles the
+                // `toArrive` correction for its *intended* receiver at
+                // both hierarchy levels (both were incremented at
+                // SCHEDULE time), no matter where the task actually
+                // lands; a reroute below clears the marker so this
+                // happens exactly once.
+                if let Some(intended) = scheduled {
+                    if self.comm == CommPath::Bridges {
+                        let wl = task.workload_or_default();
+                        let ir = self.cfg.geometry.rank_of(intended).index();
+                        let il = self.local_index(intended.index());
+                        if self.audit.enabled
+                            && (self.bridges[ir].to_arrive[il] < wl || self.host.to_arrive[ir] < wl)
+                        {
+                            let detail = format!(
+                                "toArrive underflow settling a scheduled task for u{}: \
+                                 bridge {} / host {} against workload {wl}",
+                                intended.0, self.bridges[ir].to_arrive[il], self.host.to_arrive[ir],
+                            );
+                            self.audit.flag("to-arrive", detail);
+                        }
+                        self.bridges[ir].to_arrive[il] =
+                            self.bridges[ir].to_arrive[il].saturating_sub(wl);
+                        self.host.to_arrive[ir] = self.host.to_arrive[ir].saturating_sub(wl);
+                    }
                 }
                 let block = self.map.block_of(task.data);
                 if !self.units[u].holds_block(block, &self.map) {
@@ -680,7 +905,7 @@ impl System {
                             self.units[u].is_borrowed(block),
                         );
                     }
-                    self.emit_message(u, Message::Task(task, scheduled), now);
+                    self.emit_message(u, Message::Task(task, None), now);
                     return;
                 }
                 let hot = self.lb.hot_data;
@@ -700,8 +925,22 @@ impl System {
                     self.units[u].is_lent.clear(dm.block);
                     self.wake_unit(u, now);
                 } else {
-                    self.trace_block(dm.block, &format!("admitted at u{u}"));
-                    self.admit_borrowed_block(u, dm, now);
+                    // An assignment is only admitted while the rank
+                    // bridge still maps the block to this unit; a stale
+                    // arrival (metadata evicted while the data was in
+                    // flight) bounces straight home instead of creating
+                    // an orphan borrow.
+                    let uid = self.units[u].id;
+                    let r = self.cfg.geometry.rank_of(uid).index();
+                    let stale = self.comm == CommPath::Bridges
+                        && self.bridges[r].data_borrowed.peek(&dm.block) != Some(&uid);
+                    if stale {
+                        self.trace_block(dm.block, &format!("stale at u{u}; bouncing home"));
+                        self.return_block_home(u, dm.block, now);
+                    } else {
+                        self.trace_block(dm.block, &format!("admitted at u{u}"));
+                        self.admit_borrowed_block(u, dm, now);
+                    }
                 }
             }
             Message::State(_) => {
@@ -714,7 +953,7 @@ impl System {
         let evicted = self.units[u].admit_borrow(dm.block);
         // Borrowed-region write charged during scatter already; the
         // metadata update is an SRAM access.
-        self.metrics.add(self.m.sram_staged_bytes, 16);
+        self.charge_sram(SramCause::BorrowMeta, 16);
         if let Some(victim) = evicted {
             self.return_block_home(u, victim, now);
         }
@@ -892,7 +1131,7 @@ impl System {
                     ComponentId::Unit(u as u32),
                     sink(&mut self.trace),
                 );
-                self.metrics.add(self.m.comm_dram_bytes, gxfer as u64);
+                self.charge_comm(CommCause::Gather, gxfer as u64);
                 let msgs = self.units[u].mailbox.drain_up_to(gxfer);
                 let msg_count = msgs.len() as u32;
                 if msgs.is_empty() {
@@ -920,7 +1159,7 @@ impl System {
                     }
                 }
                 self.bridges[r].stats.bytes_gathered.add(gathered);
-                self.metrics.add(self.m.sram_staged_bytes, gathered);
+                self.charge_sram(SramCause::BridgeGather, gathered);
                 if let Some(tr) = sink(&mut self.trace) {
                     tr.record(TraceRecord::span(
                         grant.start,
@@ -974,7 +1213,7 @@ impl System {
                 moved += msgs.len() as u64;
                 let bytes: u64 = msgs.iter().map(|m| m.wire_bytes() as u64).sum();
                 self.bridges[r].stats.bytes_scattered.add(bytes);
-                self.metrics.add(self.m.sram_staged_bytes, bytes);
+                self.charge_sram(SramCause::BridgeScatter, bytes);
                 // Bank write of the delivered messages.
                 self.units[u].bank.access_traced(
                     grant.start,
@@ -985,7 +1224,7 @@ impl System {
                     ComponentId::Unit(u as u32),
                     sink(&mut self.trace),
                 );
-                self.metrics.add(self.m.comm_dram_bytes, bytes);
+                self.charge_comm(CommCause::Scatter, bytes);
                 if let Some(tr) = sink(&mut self.trace) {
                     tr.record(TraceRecord::span(
                         grant.start,
@@ -1001,7 +1240,7 @@ impl System {
                     if let Message::Data(dm, _) = &msg {
                         self.trace_block(dm.block, &format!("scatter-deliver to u{u}"));
                     }
-                    self.q.schedule(grant.end, Ev::Deliver(u as u32, msg));
+                    self.schedule_delivery(grant.end, u, msg);
                 }
             }
         }
@@ -1048,21 +1287,22 @@ impl System {
                 ComponentId::Link(r as u32),
                 sink(&mut self.trace),
             );
-            self.metrics.add(self.m.sram_staged_bytes, bytes);
-            self.q
-                .schedule(grant.end, Ev::LinkDeliver(dest_rank as u32, msg));
+            self.charge_sram(SramCause::Link, bytes);
+            self.schedule_link_delivery(grant.end, dest_rank, msg);
         }
     }
 
     fn on_link_deliver(&mut self, dest: usize, msg: Message) {
         let now = self.q.now();
+        if self.audit.enabled {
+            self.audit.note_delivered(&msg);
+        }
         match self.absorb_at_rank(dest, msg) {
             Ok(()) => self.consider_rank_round(dest, now),
             Err(back) => {
                 // Destination bridge full: hold the message on the link
                 // and retry after a round's worth of draining.
-                self.q
-                    .schedule(now + self.cfg.i_min(), Ev::LinkDeliver(dest as u32, back));
+                self.schedule_link_delivery(now + self.cfg.i_min(), dest, back);
             }
         }
     }
@@ -1100,14 +1340,32 @@ impl System {
     /// receiver's rank (inclusive two-level dataBorrowed).
     fn note_block_in_rank(&mut self, r: usize, msg: &Message) {
         if let Message::Data(dm, Some(dest)) = msg {
+            // A cross-rank assignment must mirror a live host entry: if
+            // the host evicted or reassigned the block while the data
+            // was in flight, recording it here would orphan the
+            // metadata — skip, and let the arrival bounce home via the
+            // stale check in `on_deliver`.
+            let home = self.map.block_home(dm.block);
+            if self.cfg.geometry.rank_of(home).index() != r {
+                let recv_rank = self.cfg.geometry.rank_of(*dest);
+                if self.host.data_borrowed.peek(&dm.block) != Some(&recv_rank) {
+                    return;
+                }
+            }
             if let Some((evicted_block, holder)) =
                 self.bridges[r].data_borrowed.insert(dm.block, *dest)
             {
                 // Inclusive metadata overflow: force the evicted block
-                // home to keep tables consistent.
+                // home to keep tables consistent. If its data has not
+                // been admitted yet (still in flight), there is nothing
+                // to send back; dropping the host entry as well lets
+                // the arrival bounce home on its own.
                 let at = self.q.now();
-                self.units[holder.index()].remove_borrow(evicted_block);
-                self.return_block_home(holder.index(), evicted_block, at);
+                if self.units[holder.index()].remove_borrow(evicted_block) {
+                    self.return_block_home(holder.index(), evicted_block, at);
+                } else {
+                    self.host.data_borrowed.remove(&evicted_block);
+                }
             }
         }
     }
@@ -1151,7 +1409,7 @@ impl System {
             finished_total += st.finished_workload;
             self.bridges[r].child_state[i] = st;
         }
-        self.metrics.add(self.m.sram_staged_bytes, state_bytes);
+        self.charge_sram(SramCause::State, state_bytes);
         self.bridges[r].update_speed_estimate(self.cfg.i_state_cycles, finished_total);
         // Host's aggregate view (used by level-2 LB).
         self.host.rank_queue_workload[r] = self.bridges[r]
@@ -1306,14 +1564,19 @@ impl System {
             if cross_rank {
                 let recv_rank = self.cfg.geometry.rank_of(recv_id);
                 if let Some((evb, evr)) = self.host.data_borrowed.insert(sb.block, recv_rank) {
-                    // Overflow: return that block home from wherever it is.
+                    // Overflow: return that block home from wherever it
+                    // is. A holder that has not admitted it yet (data
+                    // still in flight) has nothing to send back; drop
+                    // the rank entry too and let the arrival bounce.
                     if let Some(&holder) = self.bridges[evr.index()].data_borrowed.peek(&evb) {
                         let h = holder.index();
-                        self.units[h].remove_borrow(evb);
-                        self.return_block_home(h, evb, now);
+                        if self.units[h].remove_borrow(evb) {
+                            self.return_block_home(h, evb, now);
+                        } else {
+                            self.bridges[evr.index()].data_borrowed.remove(&evb);
+                        }
                     }
                 }
-                self.host.to_arrive[self.cfg.geometry.rank_of(recv_id).index()] += sb.workload;
             } else {
                 self.note_block_in_rank(
                     r,
@@ -1326,9 +1589,15 @@ impl System {
                         Some(recv_id),
                     ),
                 );
-                let local_recv = recv_global - base;
-                self.bridges[r].to_arrive[local_recv] += sb.workload;
             }
+            // Both `toArrive` levels track the in-flight scheduled
+            // workload toward the intended receiver from SCHEDULE until
+            // first delivery, so host-level idle detection also sees
+            // intra-rank transfers under way (Section VI-C).
+            let recv_rank_idx = self.cfg.geometry.rank_of(recv_id).index();
+            let recv_local = self.local_index(recv_global);
+            self.host.to_arrive[recv_rank_idx] += sb.workload;
+            self.bridges[recv_rank_idx].to_arrive[recv_local] += sb.workload;
             // Giver reads the block from its bank and mails it out.
             let dm = DataMessage {
                 block: sb.block,
@@ -1337,7 +1606,7 @@ impl System {
             };
             self.emit_message(giver, Message::Data(dm, Some(recv_id)), now);
             for task in sb.tasks {
-                self.emit_message(giver, Message::Task(task, true), now);
+                self.emit_message(giver, Message::Task(task, Some(recv_id)), now);
             }
         }
         self.consider_comm(giver, now);
@@ -1495,7 +1764,7 @@ impl System {
             t_end = t_end.max(grant.end);
             let msgs = self.bridges[r].up_mailbox.drain_up_to(u32::MAX);
             self.host.stats.bytes_gathered.add(bytes);
-            self.metrics.add(self.m.sram_staged_bytes, bytes);
+            self.charge_sram(SramCause::HostGather, bytes);
             if let Some(tr) = sink(&mut self.trace) {
                 tr.record(TraceRecord::span(
                     grant.start,
@@ -1607,7 +1876,7 @@ impl System {
                         ComponentId::Unit(u as u32),
                         sink(&mut self.trace),
                     );
-                    self.metrics.add(self.m.comm_dram_bytes, gxfer as u64);
+                    self.charge_comm(CommCause::HostGather, gxfer as u64);
                     let msgs = self.units[u].mailbox.drain_up_to(gxfer);
                     if msgs.is_empty() {
                         self.host.stats.wasted_gathers.inc();
@@ -1686,7 +1955,7 @@ impl System {
                     ComponentId::Unit(u as u32),
                     sink(&mut self.trace),
                 );
-                self.metrics.add(self.m.comm_dram_bytes, bytes);
+                self.charge_comm(CommCause::HostScatter, bytes);
                 if let Some(tr) = sink(&mut self.trace) {
                     tr.record(TraceRecord::span(
                         cg.start,
@@ -1699,7 +1968,7 @@ impl System {
                     ));
                 }
                 for msg in msgs {
-                    self.q.schedule(cg.end, Ev::Deliver(u as u32, msg));
+                    self.schedule_delivery(cg.end, u, msg);
                 }
             }
         }
@@ -1721,6 +1990,302 @@ impl System {
         }
     }
 
+    // ---- conservation audit ---------------------------------------------------
+
+    /// Collects every in-flight message reachable by scanning mailboxes
+    /// and buffers, merged with the queued-event view the [`AuditState`]
+    /// maintains.
+    fn scan_in_flight(&self) -> InFlight {
+        let mut f = InFlight {
+            msgs: self.audit.sched_events,
+            data_blocks: self.audit.sched_data_blocks.clone(),
+            task_toward: self.audit.sched_task_toward.clone(),
+        };
+        fn note(f: &mut InFlight, msg: &Message) {
+            f.msgs += 1;
+            match msg {
+                Message::Task(t, Some(dest)) => {
+                    *f.task_toward.entry(dest.0).or_insert(0) += t.workload_or_default();
+                }
+                Message::Data(dm, _) => {
+                    *f.data_blocks.entry(dm.block.0).or_insert(0) += 1;
+                }
+                _ => {}
+            }
+        }
+        for u in &self.units {
+            for m in u.mailbox.iter() {
+                note(&mut f, m);
+            }
+            for m in &u.pending_out {
+                note(&mut f, m);
+            }
+        }
+        for b in &self.bridges {
+            for m in b.buffered_messages() {
+                note(&mut f, m);
+            }
+            for m in b.up_mailbox.iter() {
+                note(&mut f, m);
+            }
+        }
+        for m in self.host.buffered_messages() {
+            note(&mut f, m);
+        }
+        f
+    }
+
+    /// Scans the whole system for conservation-law violations (see
+    /// [`crate::audit`] for the laws). Purely observational: no
+    /// simulator state changes, so audited results are bit-identical to
+    /// unaudited ones. Called between event handlers only, where all
+    /// component state is consistent.
+    pub fn collect_violations(&self) -> Vec<Violation> {
+        let mut v: Vec<Violation> = self.audit.flagged.clone();
+        let f = self.scan_in_flight();
+        let g = &self.cfg.geometry;
+
+        // Message conservation: every message ever emitted was either
+        // delivered or sits in exactly one queue, buffer, or event.
+        let emitted: u64 = self.units.iter().map(|u| u.stats.msgs_emitted.get()).sum();
+        let delivered = self.metrics.get(self.m.msgs_delivered);
+        if emitted != delivered + f.msgs {
+            v.push(Violation {
+                law: "message-conservation",
+                detail: format!(
+                    "emitted {emitted} != delivered {delivered} + in-flight {}",
+                    f.msgs
+                ),
+            });
+        }
+
+        // toArrive balance: each correction counter equals the workload
+        // of scheduled tasks still in flight toward that child, and the
+        // host-level counter covers its whole rank.
+        let upr = g.units_per_rank() as usize;
+        for (r, b) in self.bridges.iter().enumerate() {
+            let mut rank_expect = 0u64;
+            for (i, &ta) in b.to_arrive.iter().enumerate() {
+                let expect = f
+                    .task_toward
+                    .get(&((r * upr + i) as u32))
+                    .copied()
+                    .unwrap_or(0);
+                rank_expect += expect;
+                if ta != expect {
+                    v.push(Violation {
+                        law: "to-arrive",
+                        detail: format!(
+                            "bridge {r} child {i}: toArrive {ta} != in-flight scheduled \
+                             workload {expect}"
+                        ),
+                    });
+                }
+            }
+            if self.host.to_arrive[r] != rank_expect {
+                v.push(Violation {
+                    law: "to-arrive",
+                    detail: format!(
+                        "host toArrive[{r}] = {} != in-flight scheduled workload {rank_expect}",
+                        self.host.to_arrive[r]
+                    ),
+                });
+            }
+        }
+
+        // dataBorrowed inclusivity, bottom-up: unit borrow ⊆ bridge
+        // entry ⊆ host entry (for cross-rank blocks), all covered by
+        // the home's isLent bit.
+        for u in &self.units {
+            let r = g.rank_of(u.id).index();
+            for blk in u.borrowed_blocks() {
+                let home = self.map.block_home(blk);
+                if !self.units[home.index()].is_lent.is_lent(blk) {
+                    v.push(Violation {
+                        law: "data-borrowed-inclusivity",
+                        detail: format!(
+                            "block {} borrowed at u{} but not lent at home",
+                            blk.0, u.id
+                        ),
+                    });
+                }
+                if self.bridges[r].data_borrowed.peek(&blk) != Some(&u.id) {
+                    v.push(Violation {
+                        law: "data-borrowed-inclusivity",
+                        detail: format!(
+                            "block {} borrowed at u{} without matching bridge {r} entry",
+                            blk.0, u.id
+                        ),
+                    });
+                }
+                if g.rank_of(home).index() != r
+                    && self.host.data_borrowed.peek(&blk) != Some(&g.rank_of(u.id))
+                {
+                    v.push(Violation {
+                        law: "data-borrowed-inclusivity",
+                        detail: format!(
+                            "cross-rank block {} borrowed at u{} without host entry",
+                            blk.0, u.id
+                        ),
+                    });
+                }
+            }
+        }
+        for (r, br) in self.bridges.iter().enumerate() {
+            for (&blk, &holder) in br.data_borrowed.iter() {
+                let home = self.map.block_home(blk);
+                if g.rank_of(holder).index() != r {
+                    v.push(Violation {
+                        law: "data-borrowed-inclusivity",
+                        detail: format!(
+                            "bridge {r} entry for block {} names foreign u{holder}",
+                            blk.0
+                        ),
+                    });
+                }
+                if !self.units[home.index()].is_lent.is_lent(blk) {
+                    v.push(Violation {
+                        law: "data-borrowed-inclusivity",
+                        detail: format!("bridge {r} entry for block {} but home not lent", blk.0),
+                    });
+                }
+                if !self.units[holder.index()].is_borrowed(blk)
+                    && !f.data_blocks.contains_key(&blk.0)
+                {
+                    v.push(Violation {
+                        law: "data-borrowed-inclusivity",
+                        detail: format!(
+                            "bridge {r} entry for block {} orphaned: u{holder} does not hold \
+                             it and no data message is in flight",
+                            blk.0
+                        ),
+                    });
+                }
+            }
+        }
+        for (&blk, &rank) in self.host.data_borrowed.iter() {
+            let home = self.map.block_home(blk);
+            if !self.units[home.index()].is_lent.is_lent(blk) {
+                v.push(Violation {
+                    law: "data-borrowed-inclusivity",
+                    detail: format!("host entry for block {} but home not lent", blk.0),
+                });
+            }
+            if self.bridges[rank.index()]
+                .data_borrowed
+                .peek(&blk)
+                .is_none()
+                && !f.data_blocks.contains_key(&blk.0)
+            {
+                v.push(Violation {
+                    law: "data-borrowed-inclusivity",
+                    detail: format!(
+                        "host entry for block {} orphaned: rank {rank} has no bridge entry \
+                         and no data message is in flight",
+                        blk.0
+                    ),
+                });
+            }
+        }
+        // No lent block may be unreachable: it is either borrowed
+        // somewhere, tracked by a table, or its data is in flight.
+        for u in &self.units {
+            for blk in u.is_lent.iter() {
+                let tracked = f.data_blocks.contains_key(&blk.0)
+                    || self.host.data_borrowed.peek(&blk).is_some()
+                    || self
+                        .bridges
+                        .iter()
+                        .any(|b| b.data_borrowed.peek(&blk).is_some())
+                    || self.units.iter().any(|w| w.is_borrowed(blk));
+                if !tracked {
+                    v.push(Violation {
+                        law: "data-borrowed-inclusivity",
+                        detail: format!(
+                            "block {} lent by u{} is unreachable (no borrow, no table \
+                             entry, nothing in flight)",
+                            blk.0, u.id
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Ledger totals: per-cause rows sum exactly to the system byte
+        // totals they decompose.
+        let comm_total = self.metrics.get(self.m.comm_dram_bytes);
+        let comm_ledger: u64 = self
+            .m
+            .ledger_comm
+            .iter()
+            .map(|&id| self.metrics.get(id))
+            .sum();
+        if comm_total != comm_ledger {
+            v.push(Violation {
+                law: "ledger-totals",
+                detail: format!("comm ledger rows sum to {comm_ledger}, total is {comm_total}"),
+            });
+        }
+        let sram_total = self.metrics.get(self.m.sram_staged_bytes);
+        let sram_ledger: u64 = self
+            .m
+            .ledger_sram
+            .iter()
+            .map(|&id| self.metrics.get(id))
+            .sum();
+        if sram_total != sram_ledger {
+            v.push(Violation {
+                law: "ledger-totals",
+                detail: format!("sram ledger rows sum to {sram_ledger}, total is {sram_total}"),
+            });
+        }
+
+        // Bus sanity: accumulated busy time never exceeds the horizon a
+        // bus has been driven to.
+        let mut check_bus = |name: &str, i: usize, b: &Bus| {
+            if b.busy.total() > b.free_at() {
+                v.push(Violation {
+                    law: "bus-sanity",
+                    detail: format!(
+                        "{name} {i}: busy {:?} exceeds horizon {:?}",
+                        b.busy.total(),
+                        b.free_at()
+                    ),
+                });
+            }
+        };
+        for (i, b) in self.rank_bus.iter().enumerate() {
+            check_bus("rank bus", i, b);
+        }
+        for (i, b) in self.channel.iter().enumerate() {
+            check_bus("channel", i, b);
+        }
+        for (i, b) in self.link_bus.iter().enumerate() {
+            check_bus("link", i, b);
+        }
+        v
+    }
+
+    /// Runs one audit scan and panics with the full violation list if
+    /// any law fails.
+    fn run_audit(&self, label: &str) {
+        let violations = self.collect_violations();
+        if violations.is_empty() {
+            return;
+        }
+        let mut msg = format!(
+            "conservation audit failed at {label} ({} on {}, {} violation(s)):",
+            self.design,
+            self.app.name(),
+            violations.len()
+        );
+        for w in violations.iter().take(20) {
+            msg.push_str("\n  ");
+            msg.push_str(&w.to_string());
+        }
+        panic!("{msg}");
+    }
+
     // ---- metrics + finalize ---------------------------------------------------
 
     /// Refreshes the harvested gauges (component-owned counters) in the
@@ -1731,6 +2296,8 @@ impl System {
         let mut stalls = 0u64;
         let mut hits = 0u64;
         let mut overflows = 0u64;
+        let mut peak_chunks = 0u64;
+        let mut peak_tasks = 0u64;
         for u in &self.units {
             tasks += u.stats.tasks_executed.get();
             rerouted += u.stats.tasks_rerouted.get();
@@ -1738,6 +2305,9 @@ impl System {
             let (h, o) = u.reserved_stats();
             hits += h;
             overflows += o;
+            let (pc, pt) = u.reserved_peaks();
+            peak_chunks = peak_chunks.max(pc as u64);
+            peak_tasks = peak_tasks.max(pt as u64);
         }
         self.metrics.set(self.m.unit_tasks_executed, tasks);
         self.metrics.set(self.m.unit_tasks_rerouted, rerouted);
@@ -1745,6 +2315,10 @@ impl System {
         self.metrics.set(self.m.sketch_reserved_hits, hits);
         self.metrics
             .set(self.m.sketch_reserved_overflows, overflows);
+        self.metrics
+            .set(self.m.sketch_reserved_peak_chunks, peak_chunks);
+        self.metrics
+            .set(self.m.sketch_reserved_peak_tasks, peak_tasks);
         let sum = |f: &dyn Fn(&RankBridge) -> u64| self.bridges.iter().map(f).sum::<u64>();
         self.metrics
             .set(self.m.bridge_gathers, sum(&|b| b.stats.gathers.get()));
@@ -1799,6 +2373,9 @@ impl System {
                 TraceEvent::EpochAdvance { epoch: new_epoch.0 },
             ));
         }
+        if self.cfg.audit.at_epochs() {
+            self.run_audit(&format!("epoch-{}", new_epoch.0));
+        }
     }
 
     fn finalize(mut self) -> RunResult {
@@ -1820,6 +2397,9 @@ impl System {
         }
         self.harvest_metrics();
         self.metrics.snapshot("final", makespan);
+        if self.cfg.audit.at_end() {
+            self.run_audit("final");
+        }
         let trace = self
             .trace
             .take()
@@ -1931,10 +2511,10 @@ mod tests {
     #[test]
     fn route_at_rank_sends_home_by_default() {
         let mut s = sys(DesignPoint::B);
-        let msg = Message::Task(task_on(&s, 5, 0), false);
+        let msg = Message::Task(task_on(&s, 5, 0), None);
         assert_eq!(s.route_at_rank(0, &msg), Some(5));
         // A unit of the other rank routes upward.
-        let far = Message::Task(task_on(&s, 64, 0), false);
+        let far = Message::Task(task_on(&s, 64, 0), None);
         assert_eq!(s.route_at_rank(0, &far), None);
         assert_eq!(s.route_at_rank(1, &far), Some(64));
     }
@@ -1947,7 +2527,7 @@ mod tests {
         // Simulate a migration: home marks lent, bridge maps to unit 9.
         s.units[5].is_lent.set(block);
         s.bridges[0].data_borrowed.insert(block, UnitId(9));
-        let msg = Message::Task(t, false);
+        let msg = Message::Task(t, None);
         assert_eq!(s.route_at_rank(0, &msg), Some(9));
     }
 
@@ -1960,7 +2540,7 @@ mod tests {
         // knows the rank.
         s.units[5].is_lent.set(block);
         s.host.data_borrowed.insert(block, ndpb_dram::RankId(1));
-        let msg = Message::Task(t, false);
+        let msg = Message::Task(t, None);
         assert_eq!(s.route_at_rank(0, &msg), None, "must escalate");
         assert_eq!(s.route_at_host(&msg), 1);
     }
@@ -1983,7 +2563,7 @@ mod tests {
     fn direct_dest_is_home_unit() {
         let s = sys(DesignPoint::C);
         let t = task_on(&s, 42, 128);
-        assert_eq!(s.direct_dest_unit(&Message::Task(t, false)), 42);
+        assert_eq!(s.direct_dest_unit(&Message::Task(t, None)), 42);
     }
 
     #[test]
@@ -1999,8 +2579,8 @@ mod tests {
         let mut s = sys(DesignPoint::B);
         // Shrink unit 0's mailbox to one message.
         s.units[0].mailbox = ndpb_proto::Mailbox::new(24);
-        let m1 = Message::Task(task_on(&s, 7, 0), false);
-        let m2 = Message::Task(task_on(&s, 8, 0), false);
+        let m1 = Message::Task(task_on(&s, 7, 0), None);
+        let m2 = Message::Task(task_on(&s, 8, 0), None);
         s.emit_message(0, m1, SimTime::ZERO);
         assert!(s.units[0].pending_out.is_empty());
         s.emit_message(0, m2, SimTime::ZERO);
@@ -2118,5 +2698,174 @@ mod tests {
         let json = ndpb_trace::chrome_trace_string(&r.trace);
         assert!(json.starts_with("{\"displayTimeUnit\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    // ---- conservation audit ----------------------------------------------
+
+    #[test]
+    fn audit_trips_on_corrupted_data_borrowed_entry() {
+        let mut s = sys(DesignPoint::O);
+        s.audit.enabled = true;
+        // Fabricate a bridge entry for a block whose home never lent it
+        // and which nobody holds: two inclusivity laws must fire.
+        let t = task_on(&s, 5, 0);
+        let block = s.map.block_of(t.data);
+        s.bridges[0].data_borrowed.insert(block, UnitId(9));
+        let v = s.collect_violations();
+        assert!(
+            v.iter().any(|x| x.law == "data-borrowed-inclusivity"),
+            "corruption not detected: {v:?}"
+        );
+        assert!(v.iter().any(|x| x.detail.contains("orphaned")), "{v:?}");
+        // Repairing the entry silences the auditor again.
+        s.bridges[0].data_borrowed.remove(&block);
+        assert!(s.collect_violations().is_empty());
+    }
+
+    #[test]
+    fn audit_trips_on_corrupted_to_arrive_counter() {
+        let mut s = sys(DesignPoint::W);
+        s.audit.enabled = true;
+        assert!(s.collect_violations().is_empty());
+        s.bridges[1].to_arrive[3] = 7; // no scheduled task is in flight
+        let v = s.collect_violations();
+        assert!(
+            v.iter()
+                .any(|x| x.law == "to-arrive" && x.detail.contains("bridge 1 child 3")),
+            "{v:?}"
+        );
+        // Corrupting the host-level counter trips its own law.
+        s.bridges[1].to_arrive[3] = 0;
+        s.host.to_arrive[0] = 9;
+        let v = s.collect_violations();
+        assert!(
+            v.iter()
+                .any(|x| x.law == "to-arrive" && x.detail.contains("host toArrive[0]")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn audited_run_is_bit_identical_to_unaudited() {
+        let run = |audit| {
+            let mut cfg = SystemConfig::with_geometry(Geometry::with_total_ranks(2));
+            cfg.seed = 5;
+            cfg.audit = audit;
+            let map = AddressMap::new(&cfg.geometry, cfg.g_xfer, cfg.timing.row_bytes);
+            System::new(cfg, DesignPoint::W, Box::new(Fan { map })).run()
+        };
+        let a = run(AuditLevel::Full);
+        let b = run(AuditLevel::Off);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.messages_delivered, b.messages_delivered);
+        assert_eq!(a.comm_dram_bytes, b.comm_dram_bytes);
+        assert_eq!(a.energy.total_pj(), b.energy.total_pj());
+    }
+
+    #[test]
+    fn scheduled_task_settles_to_arrive_for_intended_receiver_once() {
+        let mut s = sys(DesignPoint::W);
+        s.audit.enabled = true;
+        // A scheduled task intended for u9 is delivered at u9, which
+        // does not hold the block: the reroute must still settle both
+        // toArrive levels (u9 was the intended receiver) and clear the
+        // marker so the forwarded copy settles nothing further.
+        let t = task_on(&s, 5, 0);
+        let wl = t.workload_or_default();
+        s.bridges[0].to_arrive[9] = wl;
+        s.host.to_arrive[0] = wl;
+        let msg = Message::Task(t, Some(UnitId(9)));
+        s.audit.note_scheduled(&msg); // as schedule_delivery would
+        s.on_deliver(9, msg);
+        assert_eq!(s.bridges[0].to_arrive[9], 0);
+        assert_eq!(s.host.to_arrive[0], 0);
+        assert_eq!(s.units[9].stats.tasks_rerouted.get(), 1);
+        // The re-emitted copy carries no marker.
+        let mut fwd = s.units[9].mailbox.iter();
+        assert!(matches!(fwd.next(), Some(Message::Task(_, None))));
+        assert!(fwd.next().is_none());
+    }
+
+    #[test]
+    fn evicting_an_in_flight_block_leaves_no_orphan() {
+        let mut s = sys(DesignPoint::O);
+        s.audit.enabled = true;
+        let cap = s.bridges[0].data_borrowed.capacity();
+        // Block A is scheduled toward u9 but its data is still in
+        // flight (not admitted anywhere).
+        let a = s.map.block_of(task_on(&s, 5, 0).data);
+        s.units[5].is_lent.set(a);
+        let gx = s.cfg.g_xfer;
+        let dm = move |block| DataMessage {
+            block,
+            bytes: gx,
+            workload: 1,
+        };
+        s.note_block_in_rank(0, &Message::Data(dm(a), Some(UnitId(9))));
+        assert_eq!(s.bridges[0].data_borrowed.peek(&a), Some(&UnitId(9)));
+        // Fill the table until A's entry is evicted while in flight.
+        for i in 0..cap as u64 {
+            let b = s.map.block_of(task_on(&s, 6, s.cfg.g_xfer as u64 * i).data);
+            s.units[6].is_lent.set(b);
+            s.note_block_in_rank(0, &Message::Data(dm(b), Some(UnitId(10))));
+        }
+        assert!(s.bridges[0].data_borrowed.peek(&a).is_none());
+        // No bogus return was emitted from u9 (it never held A).
+        assert!(s.units[9].mailbox.is_empty());
+        // When A's data finally arrives, the stale check bounces it
+        // home instead of admitting an orphan borrow.
+        s.audit
+            .note_scheduled(&Message::Data(dm(a), Some(UnitId(9))));
+        s.on_deliver(9, Message::Data(dm(a), Some(UnitId(9))));
+        assert!(!s.units[9].is_borrowed(a));
+        let mut bounced = s.units[9].mailbox.iter();
+        match bounced.next() {
+            Some(Message::Data(d, Some(dest))) if d.block == a && *dest == UnitId(5) => {}
+            other => panic!("expected a bounce-home data message, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn returned_block_can_be_relent_cleanly() {
+        let mut s = sys(DesignPoint::O);
+        s.audit.enabled = true;
+        let a = s.map.block_of(task_on(&s, 5, 0).data);
+        let dmsg = Message::Data(
+            DataMessage {
+                block: a,
+                bytes: s.cfg.g_xfer,
+                workload: 1,
+            },
+            Some(UnitId(9)),
+        );
+        // First lend: u5 → u9, admitted.
+        s.units[5].is_lent.set(a);
+        s.note_block_in_rank(0, &dmsg);
+        s.audit.note_scheduled(&dmsg);
+        s.on_deliver(9, dmsg.clone());
+        assert!(s.units[9].is_borrowed(a));
+        // Return home: metadata cleared, lent bit dropped.
+        assert!(s.units[9].remove_borrow(a));
+        s.return_block_home(9, a, SimTime::ZERO);
+        let ret = Message::Data(
+            DataMessage {
+                block: a,
+                bytes: s.cfg.g_xfer,
+                workload: 0,
+            },
+            Some(UnitId(5)),
+        );
+        s.audit.note_scheduled(&ret);
+        s.on_deliver(5, ret);
+        assert!(!s.units[5].is_lent.is_lent(a));
+        // Immediate re-lend of the just-returned block is clean.
+        s.units[5].is_lent.set(a);
+        s.note_block_in_rank(0, &dmsg);
+        s.audit.note_scheduled(&dmsg);
+        s.on_deliver(9, dmsg);
+        assert!(s.units[9].is_borrowed(a));
+        assert_eq!(s.bridges[0].data_borrowed.peek(&a), Some(&UnitId(9)));
     }
 }

@@ -219,6 +219,12 @@ impl NdpUnit {
         (self.reserved.hits(), self.reserved.overflows())
     }
 
+    /// Reserved-queue occupancy high-water marks `(chunks, tasks)` —
+    /// the buffer-sizing figures the metrics registry reports.
+    pub fn reserved_peaks(&self) -> (usize, usize) {
+        (self.reserved.peak_chunks(), self.reserved.peak_tasks())
+    }
+
     /// Number of parked future-epoch tasks.
     pub fn future_tasks(&self) -> usize {
         self.future.values().map(Vec::len).sum()
@@ -282,6 +288,11 @@ impl NdpUnit {
     /// Number of blocks currently borrowed.
     pub fn borrowed_count(&self) -> usize {
         self.borrowed.len()
+    }
+
+    /// Iterates over the borrowed blocks in unspecified order (auditing).
+    pub fn borrowed_blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.borrowed.keys().copied()
     }
 
     /// Marks a borrowed block as recently used.

@@ -46,7 +46,7 @@ impl std::error::Error for MailboxFull {}
 ///
 /// let mut mb = Mailbox::new(1 << 20);
 /// let task = Task::new(TaskFnId(0), Timestamp(0), DataAddr(0), 1, TaskArgs::EMPTY);
-/// mb.push(Message::Task(task, false))?;
+/// mb.push(Message::Task(task, None))?;
 /// assert!(mb.bytes_used() > 0);
 /// # Ok::<(), ndpb_proto::MailboxFull>(())
 /// ```
@@ -260,7 +260,7 @@ mod tests {
     fn task_msg() -> Message {
         Message::Task(
             Task::new(TaskFnId(0), Timestamp(0), DataAddr(0), 1, TaskArgs::EMPTY),
-            false,
+            None,
         )
     }
 

@@ -52,10 +52,12 @@ impl StateMessage {
 /// Any message travelling between units and bridges.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
-    /// A task pushed to the unit holding its data element. The `bool`
-    /// marks tasks moved by load balancing, whose workload is tracked by
-    /// the bridges' `toArrive` correction counters (Section VI-C).
-    Task(Task, bool),
+    /// A task pushed to the unit holding its data element.
+    /// `Some(receiver)` marks tasks moved by load balancing toward that
+    /// intended receiver, whose workload is tracked by the bridges'
+    /// `toArrive` correction counters (Section VI-C) until first
+    /// delivery; `None` for ordinary spawns and reroutes.
+    Task(Task, Option<UnitId>),
     /// A block being lent for load balancing, with an explicit receiver
     /// chosen by the bridge (step ④ of Figure 6). `None` until the
     /// bridge assigns it.
@@ -108,7 +110,7 @@ mod tests {
 
     #[test]
     fn task_message_fits_64_bytes() {
-        let m = Message::Task(task(), false);
+        let m = Message::Task(task(), None);
         assert!(m.wire_bytes() <= MAX_MESSAGE_BYTES);
         assert!(m.is_task());
         assert!(!m.is_data());

@@ -10,7 +10,7 @@ use ndpb_trace::{ComponentId, RingRecorder, TraceEvent, TraceSink};
 fn task_msg() -> Message {
     Message::Task(
         Task::new(TaskFnId(0), Timestamp(0), DataAddr(0), 1, TaskArgs::EMPTY),
-        false,
+        None,
     )
 }
 

@@ -19,7 +19,7 @@ fn arb_message(rng: &mut SimRng) -> Message {
                 rng.next_below(1000) as u32,
                 TaskArgs::one(7),
             ),
-            false,
+            None,
         )
     } else {
         Message::Data(
@@ -112,6 +112,54 @@ fn try_push_never_drops() {
         }
         assert_eq!(kept + returned, msgs.len());
         assert_eq!(mb.len(), kept);
+    }
+}
+
+/// FIFO order and byte conservation hold under random *interleavings*
+/// of enqueue and dequeue against a small (frequently wrapping, often
+/// full) ring: every accepted message comes out exactly once, in
+/// acceptance order, and `bytes_used` always equals the sum of the
+/// queued messages' wire sizes.
+#[test]
+fn interleaved_enqueue_dequeue_is_fifo_and_conserving() {
+    let mut rng = SimRng::new(0x9070_0005);
+    for case in 0..CASES {
+        // Small capacity so backpressure and wraparound both occur.
+        let mut mb = Mailbox::new(256 + rng.next_below(768));
+        let mut accepted: std::collections::VecDeque<Message> = std::collections::VecDeque::new();
+        let mut stalls = 0u64;
+        for _step in 0..400 {
+            if rng.chance(0.6) {
+                let m = arb_message(&mut rng);
+                let sz = m.wire_bytes() as u64;
+                match mb.try_push(m.clone()) {
+                    None => accepted.push_back(m),
+                    Some(back) => {
+                        assert_eq!(back, m, "rejected message must come back intact");
+                        assert!(sz > mb.capacity() - mb.bytes_used());
+                        stalls += 1;
+                    }
+                }
+            } else {
+                let budget = 1 + rng.next_below(511) as u32;
+                for got in mb.drain_up_to(budget) {
+                    let expect = accepted.pop_front().expect("drained more than accepted");
+                    assert_eq!(got, expect, "case {case}: FIFO violated");
+                }
+            }
+            let queued: u64 = mb.iter().map(|m| m.wire_bytes() as u64).sum();
+            assert_eq!(mb.bytes_used(), queued);
+            assert_eq!(mb.len(), accepted.len());
+            assert!(mb.bytes_used() <= mb.capacity());
+        }
+        assert_eq!(mb.stalls(), stalls);
+        // Final drain returns the exact remainder in order.
+        while !mb.is_empty() {
+            for got in mb.drain_up_to(u32::MAX) {
+                assert_eq!(got, accepted.pop_front().expect("remainder"));
+            }
+        }
+        assert!(accepted.is_empty());
     }
 }
 

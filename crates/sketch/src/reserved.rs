@@ -25,6 +25,9 @@ pub struct ReservedQueue<T> {
     tasks_per_chunk: usize,
     lists: HashMap<u64, Vec<T>>,
     chunks_used: usize,
+    tasks_parked: usize,
+    peak_chunks: usize,
+    peak_tasks: usize,
     hits: u64,
     overflows: u64,
 }
@@ -43,6 +46,9 @@ impl<T> ReservedQueue<T> {
             tasks_per_chunk,
             lists: HashMap::new(),
             chunks_used: 0,
+            tasks_parked: 0,
+            peak_chunks: 0,
+            peak_tasks: 0,
             hits: 0,
             overflows: 0,
         }
@@ -79,9 +85,23 @@ impl<T> ReservedQueue<T> {
             return Err(task);
         }
         self.chunks_used += extra;
+        self.tasks_parked += 1;
+        self.peak_chunks = self.peak_chunks.max(self.chunks_used);
+        self.peak_tasks = self.peak_tasks.max(self.tasks_parked);
         self.lists.entry(key).or_default().push(task);
         self.hits += 1;
         Ok(())
+    }
+
+    /// High-water mark of chunks in use over the queue's lifetime (the
+    /// occupancy figure buffer-sizing reports want).
+    pub fn peak_chunks(&self) -> usize {
+        self.peak_chunks
+    }
+
+    /// High-water mark of tasks parked at once.
+    pub fn peak_tasks(&self) -> usize {
+        self.peak_tasks
     }
 
     /// Tasks successfully parked over the queue's lifetime (the
@@ -102,6 +122,7 @@ impl<T> ReservedQueue<T> {
         match self.lists.remove(&key) {
             Some(v) => {
                 self.chunks_used -= self.chunks_for(v.len());
+                self.tasks_parked -= v.len();
                 v
             }
             None => Vec::new(),
@@ -131,6 +152,7 @@ impl<T> ReservedQueue<T> {
     /// Drains every list (used at epoch barriers), returning all tasks.
     pub fn drain_all(&mut self) -> Vec<T> {
         self.chunks_used = 0;
+        self.tasks_parked = 0;
         let mut keys: Vec<u64> = self.lists.keys().copied().collect();
         keys.sort_unstable(); // deterministic order
         let mut out = Vec::new();
