@@ -55,4 +55,18 @@ cmp "$SMOKE_DIR/j1.txt" "$SMOKE_DIR/audited.txt"   # auditor is observational
 "$REPRO" audit --tiny --apps tree,spmv --jobs 2 --no-cache > "$SMOKE_DIR/ledger.txt" 2>/dev/null
 grep -q "auditor: zero violations" "$SMOKE_DIR/ledger.txt"
 
+echo "== repro bench smoke: event-engine throughput (non-gating timings) =="
+# The timings themselves are machine-dependent and NOT gated; what is
+# checked is that the bench harness runs, its repetitions agree on the
+# event count (it asserts determinism internally), and the JSON report
+# is well-formed with all six design columns present.
+"$REPRO" bench --quick > "$SMOKE_DIR/bench.txt" 2>&1
+test -s BENCH_repro.json
+for d in C B W O H R; do
+    grep -q "\"design\":\"$d\"" BENCH_repro.json
+done
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool BENCH_repro.json > /dev/null
+fi
+
 echo "CI OK"

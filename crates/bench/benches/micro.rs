@@ -17,7 +17,138 @@ use ndpb_workloads::{Graph, Zipfian};
 
 const ITERS: u32 = 20;
 
+/// The pre-wheel event queue — a plain `BinaryHeap` with a `(time,
+/// seq)` tie-break — kept here as the reference implementation for the
+/// head-to-head benches below. Same observable contract as
+/// [`EventQueue`], so both sides run identical schedules.
+mod heap_queue {
+    use ndpb_sim::SimTime;
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    struct Entry<E> {
+        at: SimTime,
+        seq: u64,
+        event: E,
+    }
+
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl<E> Eq for Entry<E> {}
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Min-queue via inverted compare, FIFO within a tick.
+            (other.at, other.seq).cmp(&(self.at, self.seq))
+        }
+    }
+
+    pub struct HeapQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        seq: u64,
+        now: SimTime,
+    }
+
+    impl<E> HeapQueue<E> {
+        pub fn new() -> Self {
+            HeapQueue {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                now: SimTime::ZERO,
+            }
+        }
+
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+
+        pub fn schedule(&mut self, at: SimTime, event: E) {
+            assert!(at >= self.now);
+            self.heap.push(Entry {
+                at,
+                seq: self.seq,
+                event,
+            });
+            self.seq += 1;
+        }
+
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            let e = self.heap.pop()?;
+            self.now = e.at;
+            Some((e.at, e.event))
+        }
+    }
+}
+
+/// Drives `schedule`/`pop` through one workload mix. `offset(rng, i)`
+/// yields the delay of the `i`-th event after the queue's `now`; the
+/// driver keeps ~1k events in flight (steady-state churn, like the
+/// simulator) and then drains.
+macro_rules! queue_workload {
+    ($q:expr, $offset:expr) => {{
+        let mut q = $q;
+        let mut rng = SimRng::new(7);
+        let mut sum = 0u64;
+        for i in 0..50_000u64 {
+            let at = SimTime::from_ticks(q.now().ticks() + $offset(&mut rng, i));
+            q.schedule(at, i);
+            if i >= 1_000 {
+                sum += q.pop().expect("queue holds 1k events").1;
+            }
+        }
+        while let Some((_, e)) = q.pop() {
+            sum += e;
+        }
+        sum
+    }};
+}
+
+/// Head-to-head: timer-wheel `EventQueue` vs the old `BinaryHeap`
+/// queue on the three mixes that matter — near-horizon (bucket tier),
+/// far-future (overflow tier), and same-tick bursts (FIFO churn).
+fn event_queue_head_to_head() {
+    let near = |rng: &mut SimRng, _i: u64| rng.next_below(256);
+    bench("micro/evq_wheel_near_horizon_50k", ITERS, || {
+        queue_workload!(EventQueue::new(), near)
+    });
+    bench("micro/evq_heap_near_horizon_50k", ITERS, || {
+        queue_workload!(heap_queue::HeapQueue::new(), near)
+    });
+
+    let far = |rng: &mut SimRng, _i: u64| 4096 + rng.next_below(3 * 4096);
+    bench("micro/evq_wheel_far_future_50k", ITERS, || {
+        queue_workload!(EventQueue::new(), far)
+    });
+    bench("micro/evq_heap_far_future_50k", ITERS, || {
+        queue_workload!(heap_queue::HeapQueue::new(), far)
+    });
+
+    // Bursts of 64 events on one tick, then jump ahead.
+    let same_tick = |rng: &mut SimRng, i: u64| {
+        if i.is_multiple_of(64) {
+            rng.next_below(32)
+        } else {
+            0
+        }
+    };
+    bench("micro/evq_wheel_same_tick_50k", ITERS, || {
+        queue_workload!(EventQueue::new(), same_tick)
+    });
+    bench("micro/evq_heap_same_tick_50k", ITERS, || {
+        queue_workload!(heap_queue::HeapQueue::new(), same_tick)
+    });
+}
+
 fn main() {
+    event_queue_head_to_head();
+
     bench("micro/event_queue_10k", ITERS, || {
         let mut q = EventQueue::new();
         for i in 0..10_000u64 {

@@ -40,6 +40,9 @@ use ndpb_workloads::{Scale, APP_NAMES};
 
 struct Opts {
     scale: Scale,
+    /// Whether a scale flag was given explicitly (`bench` defaults to
+    /// tiny rather than the sweep default of small).
+    scale_explicit: bool,
     apps: Vec<String>,
     json: Option<String>,
     trace: Option<String>,
@@ -48,11 +51,18 @@ struct Opts {
     cache_dir: Option<String>,
     no_cache: bool,
     audit: bool,
+    /// `bench`: repetitions per design (default 5, or 2 with --quick).
+    reps: Option<u32>,
+    /// `bench`: fewer reps for a CI smoke.
+    quick: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
     let mut scale = Scale::Small;
+    let mut scale_explicit = false;
     let mut apps: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
+    let mut reps = None;
+    let mut quick = false;
     let mut json = None;
     let mut trace = None;
     let mut metrics_json = None;
@@ -63,9 +73,9 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--tiny" => scale = Scale::Tiny,
-            "--small" => scale = Scale::Small,
-            "--full" => scale = Scale::Full,
+            "--tiny" => (scale, scale_explicit) = (Scale::Tiny, true),
+            "--small" => (scale, scale_explicit) = (Scale::Small, true),
+            "--full" => (scale, scale_explicit) = (Scale::Full, true),
             "--apps" => {
                 if let Some(list) = it.next() {
                     apps = list.split(',').map(str::to_string).collect();
@@ -84,11 +94,20 @@ fn parse_opts(args: &[String]) -> Opts {
             "--cache-dir" => cache_dir = it.next().cloned(),
             "--no-cache" => no_cache = true,
             "--audit" => audit = true,
+            "--reps" => {
+                reps = it.next().and_then(|v| v.parse().ok());
+                if reps.is_none() {
+                    eprintln!("--reps expects a count, e.g. --reps 5");
+                    std::process::exit(2);
+                }
+            }
+            "--quick" => quick = true,
             _ => {}
         }
     }
     Opts {
         scale,
+        scale_explicit,
         apps,
         json,
         trace,
@@ -97,6 +116,8 @@ fn parse_opts(args: &[String]) -> Opts {
         cache_dir,
         no_cache,
         audit,
+        reps,
+        quick,
     }
 }
 
@@ -675,6 +696,126 @@ fn dimm_link(o: &Opts) {
     println!("geomean {:>11.2}x", geomean(&sp));
 }
 
+/// `repro bench`: wall-clock benchmark of the simulation engine itself.
+///
+/// Runs the fig10-style sweep (all apps × the six golden-column
+/// designs C/B/W/O/H/R) `reps` times per design — sequentially,
+/// bypassing the result cache so every run is a real simulation — and
+/// reports the median wall seconds and events/sec per design. Writes
+/// `BENCH_repro.json` (or `--json path`) for machine consumption.
+/// Defaults to `--tiny` so a full bench stays in seconds.
+fn bench_engine(o: &Opts) {
+    let reps = o.reps.unwrap_or(if o.quick { 2 } else { 5 });
+    let scale = if o.scale_explicit {
+        o.scale
+    } else {
+        Scale::Tiny
+    };
+    let apps = app_refs(o);
+    let cols: Vec<Column> = vec![
+        Column::Ndp(DesignPoint::C),
+        Column::Ndp(DesignPoint::B),
+        Column::Ndp(DesignPoint::W),
+        Column::Ndp(DesignPoint::O),
+        Column::Host,
+        Column::Ndp(DesignPoint::R),
+    ];
+    println!(
+        "== engine bench: {} apps x {} designs, {} rep(s), scale {:?} ==",
+        apps.len(),
+        cols.len(),
+        reps,
+        scale
+    );
+    let mut walls: Vec<Vec<f64>> = vec![Vec::new(); cols.len()];
+    let mut events: Vec<u64> = vec![0; cols.len()];
+    for rep in 0..reps {
+        for (ci, col) in cols.iter().enumerate() {
+            let start = std::time::Instant::now();
+            let mut ev = 0u64;
+            for app in &apps {
+                let r = match col {
+                    Column::Ndp(d) => ndpb_bench::run_one(app, *d, SystemConfig::table1(), scale),
+                    Column::Host => ndpb_bench::run_host(app, SystemConfig::table1(), scale),
+                };
+                ev += r.events;
+            }
+            walls[ci].push(start.elapsed().as_secs_f64());
+            // Simulations are deterministic: the event count per design
+            // must not vary across reps.
+            if rep == 0 {
+                events[ci] = ev;
+            } else {
+                assert_eq!(events[ci], ev, "nondeterministic event count for {col:?}");
+            }
+        }
+    }
+    println!(
+        "\n{:<8}{:>12}{:>14}{:>16}",
+        "design", "events", "median s", "events/sec"
+    );
+    let mut rows = Vec::new();
+    let mut total_events = 0u64;
+    let mut total_median = 0.0;
+    for (ci, col) in cols.iter().enumerate() {
+        let med = ndpb_bench::timing::median(&walls[ci]);
+        let eps = if med > 0.0 {
+            events[ci] as f64 / med
+        } else {
+            0.0
+        };
+        println!(
+            "{:<8}{:>12}{:>14.4}{:>16.0}",
+            col.label(),
+            events[ci],
+            med,
+            eps
+        );
+        total_events += events[ci];
+        total_median += med;
+        let wall_list = walls[ci]
+            .iter()
+            .map(|w| format!("{w:.6}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        rows.push(format!(
+            "{{\"design\":\"{}\",\"events\":{},\"wall_seconds\":[{}],\"median_wall_seconds\":{:.6},\"events_per_sec\":{:.1}}}",
+            col.label(),
+            events[ci],
+            wall_list,
+            med,
+            eps
+        ));
+    }
+    let total_eps = if total_median > 0.0 {
+        total_events as f64 / total_median
+    } else {
+        0.0
+    };
+    println!(
+        "{:<8}{:>12}{:>14.4}{:>16.0}",
+        "total", total_events, total_median, total_eps
+    );
+    let body = format!(
+        "{{\"bench\":\"fig10\",\"scale\":\"{:?}\",\"reps\":{},\"apps\":[{}],\"designs\":[\n{}\n],\"total_events\":{},\"total_median_wall_seconds\":{:.6},\"total_events_per_sec\":{:.1}}}\n",
+        scale,
+        reps,
+        apps.iter()
+            .map(|a| format!("\"{a}\""))
+            .collect::<Vec<_>>()
+            .join(","),
+        rows.join(",\n"),
+        total_events,
+        total_median,
+        total_eps
+    );
+    let path = o.json.as_deref().unwrap_or("BENCH_repro.json");
+    match std::fs::write(path, &body) {
+        Ok(()) => eprintln!("[wrote {path}]"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
 /// `repro audit`: fully-audited B-vs-W runs with the per-cause traffic
 /// ledger broken down Figure-13-style. Every epoch boundary checks
 /// message conservation, toArrive balance, dataBorrowed inclusivity,
@@ -792,6 +933,7 @@ fn main() {
         "split-dimm" => split_dimm(&o),
         "dimm-link" => dimm_link(&o),
         "audit" => audit_breakdown(&o),
+        "bench" => bench_engine(&o),
         "all" => {
             table1();
             println!();
@@ -822,7 +964,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown subcommand {other:?}");
-            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|audit|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--jobs N] [--cache-dir path] [--no-cache] [--audit] [--json path] [--trace path] [--metrics-json path]");
+            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|audit|bench|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--jobs N] [--cache-dir path] [--no-cache] [--audit] [--json path] [--trace path] [--metrics-json path] [--reps N] [--quick]");
             std::process::exit(2);
         }
     }

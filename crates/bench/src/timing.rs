@@ -24,9 +24,33 @@ pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> Duration {
     per
 }
 
+/// Median of a sample (average of the middle two for even sizes).
+/// Returns `0.0` for an empty slice.
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in timing samples"));
+    let mid = s.len() / 2;
+    if s.len() % 2 == 1 {
+        s[mid]
+    } else {
+        (s[mid - 1] + s[mid]) / 2.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.5]), 7.5);
+    }
 
     #[test]
     fn bench_runs_and_returns_mean() {

@@ -190,10 +190,18 @@ impl RankBridge {
     /// Drains up to `budget` bytes of messages destined for child `idx`.
     pub fn drain_scatter(&mut self, idx: usize, budget: u32) -> Vec<Message> {
         let mut out = Vec::new();
+        self.drain_scatter_into(idx, budget, &mut out);
+        out
+    }
+
+    /// Like [`drain_scatter`](Self::drain_scatter), but appends into a
+    /// caller-provided buffer so the scatter hot path can recycle one
+    /// allocation across rounds.
+    pub fn drain_scatter_into(&mut self, idx: usize, budget: u32, out: &mut Vec<Message>) {
         let mut drained = 0u32;
         while let Some(front) = self.scatter[idx].front() {
             let sz = front.wire_bytes();
-            if !out.is_empty() && drained + sz > budget {
+            if drained != 0 && drained + sz > budget {
                 break;
             }
             drained += sz;
@@ -203,7 +211,6 @@ impl RankBridge {
                 break;
             }
         }
-        out
     }
 
     /// Bytes pending for child `idx`.
@@ -327,6 +334,12 @@ impl HostBridge {
     /// Drains every message pending for `rank`.
     pub fn drain_scatter(&mut self, rank: usize) -> Vec<Message> {
         self.scatter[rank].drain(..).collect()
+    }
+
+    /// Like [`drain_scatter`](Self::drain_scatter), but appends into a
+    /// caller-provided buffer (recycled by the host-round hot path).
+    pub fn drain_scatter_into(&mut self, rank: usize, out: &mut Vec<Message>) {
+        out.extend(self.scatter[rank].drain(..));
     }
 
     /// Bytes pending for `rank`.

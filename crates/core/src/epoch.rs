@@ -7,15 +7,25 @@
 //! while in a mailbox or on a bus) until its execution finishes — and
 //! reports when the barrier opens.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use ndpb_tasks::Timestamp;
 
 /// Counts outstanding tasks per epoch and drives the global barrier.
+///
+/// Epochs are dense small integers and tasks may only be spawned into
+/// the current epoch or later, so the counts live in a `VecDeque`
+/// indexed from `current` (slot 0 = the current epoch) instead of an
+/// ordered map: the tracker is touched several times per task, and the
+/// deque turns each of those tree walks into an index.
 #[derive(Debug, Clone, Default)]
 pub struct EpochTracker {
     current: u32,
-    outstanding: BTreeMap<u32, u64>,
+    /// `outstanding[i]` = tasks pending in epoch `current + i`. A zero
+    /// count is the same as "no such epoch".
+    outstanding: VecDeque<u64>,
+    /// Sum of `outstanding` (kept incrementally).
+    total: u64,
 }
 
 impl EpochTracker {
@@ -47,12 +57,18 @@ impl EpochTracker {
             ts.0,
             self.current
         );
-        *self.outstanding.entry(ts.0).or_insert(0) += 1;
-        // If nothing exists at the current epoch (e.g. an application
-        // seeds only later epochs), fast-forward to the earliest pending
-        // epoch so the barrier can open.
-        if !self.outstanding.contains_key(&self.current) {
-            self.current = *self.outstanding.keys().next().expect("just inserted");
+        let idx = (ts.0 - self.current) as usize;
+        if idx >= self.outstanding.len() {
+            self.outstanding.resize(idx + 1, 0);
+        }
+        self.outstanding[idx] += 1;
+        self.total += 1;
+        // If nothing is pending at the current epoch (e.g. an
+        // application seeds only later epochs), fast-forward to the
+        // earliest pending epoch so the barrier can open.
+        while self.outstanding[0] == 0 {
+            self.outstanding.pop_front();
+            self.current += 1;
         }
     }
 
@@ -64,34 +80,33 @@ impl EpochTracker {
     ///
     /// Panics on unbalanced completion.
     pub fn completed(&mut self, ts: Timestamp) -> Option<Timestamp> {
-        let n = self
-            .outstanding
-            .get_mut(&ts.0)
-            .unwrap_or_else(|| panic!("completion for unknown epoch {}", ts.0));
-        assert!(*n > 0, "unbalanced completion for epoch {}", ts.0);
-        *n -= 1;
-        if *n == 0 {
-            self.outstanding.remove(&ts.0);
-        }
-        if ts.0 == self.current && !self.outstanding.contains_key(&self.current) {
+        let idx =
+            ts.0.checked_sub(self.current)
+                .map(|d| d as usize)
+                .filter(|&i| i < self.outstanding.len() && self.outstanding[i] > 0)
+                .unwrap_or_else(|| panic!("completion for unknown epoch {}", ts.0));
+        self.outstanding[idx] -= 1;
+        self.total -= 1;
+        if idx == 0 && self.outstanding[0] == 0 && self.total > 0 {
             // Current epoch drained: jump to the next epoch that has
-            // outstanding tasks, if any.
-            if let Some((&next, _)) = self.outstanding.iter().next() {
-                self.current = next;
-                return Some(Timestamp(next));
+            // outstanding tasks.
+            while self.outstanding[0] == 0 {
+                self.outstanding.pop_front();
+                self.current += 1;
             }
+            return Some(Timestamp(self.current));
         }
         None
     }
 
     /// Total outstanding tasks across all epochs.
     pub fn total_outstanding(&self) -> u64 {
-        self.outstanding.values().sum()
+        self.total
     }
 
     /// Whether every task in every epoch has completed.
     pub fn all_done(&self) -> bool {
-        self.outstanding.is_empty()
+        self.total == 0
     }
 }
 

@@ -78,6 +78,11 @@ pub struct HostOnly {
     epochs: EpochTracker,
     tasks_executed: u64,
     dram_bytes: u64,
+    /// Persistent execution context plus spawn-`Vec` free list: the run
+    /// loop executes every task without per-task heap allocation (same
+    /// recycling scheme as `System`).
+    ctx: ExecCtx,
+    spawn_pool: Vec<Vec<Task>>,
 }
 
 impl HostOnly {
@@ -103,6 +108,8 @@ impl HostOnly {
             epochs: EpochTracker::new(),
             tasks_executed: 0,
             dram_bytes: 0,
+            ctx: ExecCtx::new(ndpb_dram::UnitId(0)),
+            spawn_pool: Vec::new(),
         }
     }
 
@@ -122,8 +129,10 @@ impl HostOnly {
 
     fn start(&mut self, w: usize, task: Task, now: SimTime) {
         let begin = now.max(self.worker_free[w]);
-        let mut ctx = ExecCtx::new(ndpb_dram::UnitId(0));
-        self.app.execute(&task, &mut ctx);
+        let spawn_buf = self.spawn_pool.pop().unwrap_or_default();
+        self.ctx.reset(ndpb_dram::UnitId(0), spawn_buf);
+        self.app.execute(&task, &mut self.ctx);
+        let ctx = &self.ctx;
         let mut t = begin + SimTime::from_ticks(self.host_compute_ticks(ctx.compute_cycles()));
         // Each declared access is a cache-missing DRAM access. The
         // accesses a task declares are data-dependent (pointer chases,
@@ -153,7 +162,7 @@ impl HostOnly {
             Done {
                 worker: w as u32,
                 task,
-                children: ctx.into_spawned(),
+                children: self.ctx.take_spawned(),
             },
         );
     }
@@ -173,11 +182,12 @@ impl HostOnly {
             self.enqueue(t);
         }
         self.dispatch(SimTime::ZERO);
-        while let Some((now, done)) = self.q.pop() {
+        while let Some((now, mut done)) = self.q.pop() {
             self.tasks_executed += 1;
-            for child in done.children {
+            for child in done.children.drain(..) {
                 self.enqueue(child);
             }
+            self.spawn_pool.push(done.children);
             if let Some(next) = self.epochs.completed(done.task.ts) {
                 if let Some(released) = self.future.remove(&next.0) {
                     self.ready.extend(released);

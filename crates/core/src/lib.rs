@@ -24,6 +24,7 @@ pub mod bridge;
 pub mod config;
 pub mod design;
 pub mod epoch;
+pub mod fasthash;
 pub mod hostonly;
 pub mod metadata;
 pub mod result;

@@ -1,9 +1,9 @@
 //! Migration metadata: `isLent` bitmaps and `dataBorrowed` LRU tables
 //! (Section VI-B, Figure 7).
 
-use std::collections::HashMap;
-
 use ndpb_dram::BlockAddr;
+
+use crate::fasthash::{FastMap, FastSet};
 
 /// A bounded LRU map modelling a set-associative `dataBorrowed` table.
 /// (We model full LRU; hardware associativity only changes conflict
@@ -22,7 +22,7 @@ use ndpb_dram::BlockAddr;
 /// ```
 #[derive(Debug, Clone)]
 pub struct LruTable<K, V> {
-    map: HashMap<K, (V, u64)>,
+    map: FastMap<K, (V, u64)>,
     capacity: usize,
     tick: u64,
 }
@@ -36,7 +36,7 @@ impl<K: std::hash::Hash + Eq + Copy, V> LruTable<K, V> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LRU table needs capacity");
         LruTable {
-            map: HashMap::new(),
+            map: FastMap::default(),
             capacity,
             tick: 0,
         }
@@ -111,7 +111,7 @@ impl<K: std::hash::Hash + Eq + Copy, V> LruTable<K, V> {
 /// `G_xfer` block of the home bank, 2 kB SRAM in Table I).
 #[derive(Debug, Clone, Default)]
 pub struct LentBitmap {
-    lent: std::collections::HashSet<BlockAddr>,
+    lent: FastSet<BlockAddr>,
 }
 
 impl LentBitmap {

@@ -7,7 +7,7 @@
 //! bridge gather/scatter rounds with dynamic triggering (Section V),
 //! and hierarchical data-transfer-aware load balancing (Section VI).
 
-use std::collections::HashMap;
+use crate::fasthash::FastMap;
 
 use ndpb_dram::{AddressMap, BlockAddr, Bus, EnergyBreakdown, UnitId};
 use ndpb_proto::message::DataMessage;
@@ -91,6 +91,22 @@ pub struct System {
     /// Conservation-audit bookkeeping (see [`crate::audit`]); inert
     /// when `cfg.audit` is [`AuditLevel::Off`].
     audit: AuditState,
+    /// Recycled staging buffer for gather/scatter message batches. Round
+    /// handlers `mem::take` it, drain a mailbox or scatter buffer into
+    /// it, consume it, and hand it back — so the steady-state event loop
+    /// does no per-batch heap allocation.
+    msg_scratch: Vec<Message>,
+    /// Recycled per-destination grouping table for the direct (C/R)
+    /// scatter path; inner `Vec`s cycle through [`Self::vec_pool`].
+    per_unit_scratch: Vec<(usize, Vec<Message>)>,
+    /// Free list of empty message `Vec`s backing `per_unit_scratch`.
+    vec_pool: Vec<Vec<Message>>,
+    /// Persistent execution context: task reads/writes/spawns land in
+    /// recycled buffers instead of three fresh `Vec`s per task.
+    exec_ctx: ExecCtx,
+    /// Free list of spawn `Vec`s cycling between [`Ev::TaskDone`] events
+    /// and [`Self::exec_ctx`].
+    spawn_pool: Vec<Vec<Task>>,
 }
 
 /// Per-cause attribution of communication-DRAM traffic. Every byte
@@ -175,10 +191,10 @@ struct AuditState {
     /// Message-carrying events currently queued.
     sched_events: u64,
     /// Data-block occurrence counts inside queued events.
-    sched_data_blocks: HashMap<u64, u32>,
+    sched_data_blocks: FastMap<u64, u32>,
     /// Scheduled-task workload inside queued events, keyed by the
     /// intended receiver unit.
-    sched_task_toward: HashMap<u32, u64>,
+    sched_task_toward: FastMap<u32, u64>,
     /// Violations caught at update sites (e.g. a `toArrive` counter
     /// that would have gone negative), reported at the next scan.
     flagged: Vec<Violation>,
@@ -232,8 +248,8 @@ impl AuditState {
 /// and buffers, merged with the queued-event view from [`AuditState`].
 struct InFlight {
     msgs: u64,
-    data_blocks: HashMap<u64, u32>,
-    task_toward: HashMap<u32, u64>,
+    data_blocks: FastMap<u64, u32>,
+    task_toward: FastMap<u32, u64>,
 }
 
 /// Pre-registered [`MetricId`]s for the system's counters, so hot paths
@@ -404,6 +420,11 @@ impl System {
             m,
             audit,
             cfg,
+            msg_scratch: Vec::new(),
+            per_unit_scratch: Vec::new(),
+            vec_pool: Vec::new(),
+            exec_ctx: ExecCtx::new(ndpb_dram::UnitId(0)),
+            spawn_pool: Vec::new(),
         }
     }
 
@@ -546,14 +567,16 @@ impl System {
 
     /// Debug aid: prints lifecycle events of the block named by the
     /// `NDPB_TRACE_BLOCK` environment variable.
-    fn trace_block(&self, block: BlockAddr, what: &str) {
+    /// Takes the annotation lazily so untraced runs (the normal case)
+    /// never pay for formatting it.
+    fn trace_block(&self, block: BlockAddr, what: impl FnOnce() -> String) {
         if self.traced_block == Some(block.0) {
             eprintln!(
                 "[block {} @{} {}] {}",
                 block.0,
                 self.q.now(),
                 self.design,
-                what
+                what()
             );
         }
     }
@@ -628,11 +651,14 @@ impl System {
         if self.units[u].is_borrowed(block) {
             self.units[u].touch_borrow(block);
         }
-        // Execute.
-        let mut ctx = ExecCtx::new(self.units[u].id);
-        self.app.execute(&task, &mut ctx);
+        // Execute, reusing the persistent context: reads/writes land in
+        // recycled buffers and the spawn `Vec` comes off the free list.
+        let spawn_buf = self.spawn_pool.pop().unwrap_or_default();
+        self.exec_ctx.reset(self.units[u].id, spawn_buf);
+        self.app.execute(&task, &mut self.exec_ctx);
+        let ctx = &self.exec_ctx;
         let mut t = now + SimTime::from_ticks(ctx.compute_cycles() * TICKS_PER_CORE_CYCLE);
-        let timing = self.cfg.timing.clone();
+        let timing = &self.cfg.timing;
         let comp = ComponentId::Unit(u as u32);
         {
             let unit = &mut self.units[u];
@@ -640,7 +666,7 @@ impl System {
                 let row = self.map.row_of(addr);
                 t = unit
                     .bank
-                    .access_traced(t, row, bytes, false, &timing, comp, sink(&mut self.trace))
+                    .access_traced(t, row, bytes, false, timing, comp, sink(&mut self.trace))
                     .end;
                 unit.stats.dram_local_bytes.add(bytes as u64);
             }
@@ -648,7 +674,7 @@ impl System {
                 let row = self.map.row_of(addr);
                 t = unit
                     .bank
-                    .access_traced(t, row, bytes, true, &timing, comp, sink(&mut self.trace))
+                    .access_traced(t, row, bytes, true, timing, comp, sink(&mut self.trace))
                     .end;
                 unit.stats.dram_local_bytes.add(bytes as u64);
             }
@@ -669,18 +695,19 @@ impl System {
                 },
             ));
         }
-        let children = ctx.into_spawned();
+        let children = self.exec_ctx.take_spawned();
         for c in &children {
             self.epochs.spawned(c.ts);
         }
         self.q.schedule(t, Ev::TaskDone(u as u32, task, children));
     }
 
-    fn on_task_done(&mut self, u: usize, task: Task, children: Vec<Task>) {
+    fn on_task_done(&mut self, u: usize, task: Task, mut children: Vec<Task>) {
         let now = self.q.now();
-        for child in children {
+        for child in children.drain(..) {
             self.route_spawn(u, child, now);
         }
+        self.spawn_pool.push(children);
         if let Some(new_epoch) = self.epochs.completed(task.ts) {
             self.note_epoch_advance(new_epoch, now);
             let hot = self.lb.hot_data;
@@ -705,15 +732,15 @@ impl System {
         let block = self.map.block_of(task.data);
         if self.units[u].holds_block(block, &self.map) {
             // Local: enqueue directly (a cheap in-DRAM task-queue append).
-            let timing = self.cfg.timing.clone();
             self.charge_comm(CommCause::Taskq, task.wire_bytes() as u64);
+            let timing = &self.cfg.timing;
             let unit = &mut self.units[u];
             unit.bank.access_traced(
                 now,
                 TASKQ_ROW,
                 task.wire_bytes(),
                 true,
-                &timing,
+                timing,
                 ComponentId::Unit(u as u32),
                 sink(&mut self.trace),
             );
@@ -741,18 +768,18 @@ impl System {
     /// Direct bank-to-bank transfer over the chip-internal bus (R).
     fn rowclone_transfer(&mut self, src: usize, dst: usize, task: Task, now: SimTime) {
         let copy = self.cfg.timing.rowclone_row_copy();
-        let timing = self.cfg.timing.clone();
+        let timing = &self.cfg.timing;
         // Both banks are busy for the copy; serialize behind each.
         let s = self.units[src]
             .bank
-            .access(now, MAILBOX_ROW, 64, false, &timing)
+            .access(now, MAILBOX_ROW, 64, false, timing)
             .end;
         let start = s.max(self.units[dst].bank.busy_until());
         let end = start + copy;
         // Occupy the destination bank for the copy window.
         self.units[dst]
             .bank
-            .access(start, BORROW_ROW, 64, true, &timing);
+            .access(start, BORROW_ROW, 64, true, timing);
         self.units[src].bank.precharge_traced(
             s,
             ComponentId::Unit(src as u32),
@@ -785,7 +812,7 @@ impl System {
             Message::State(_) => CommCause::MailTask,
         };
         self.charge_comm(cause, bytes as u64);
-        let timing = self.cfg.timing.clone();
+        let timing = &self.cfg.timing;
         let comp = ComponentId::Unit(u as u32);
         let unit = &mut self.units[u];
         unit.bank.access_traced(
@@ -793,7 +820,7 @@ impl System {
             MAILBOX_ROW,
             bytes,
             true,
-            &timing,
+            timing,
             comp,
             sink(&mut self.trace),
         );
@@ -921,7 +948,7 @@ impl System {
                 let home = self.map.block_home(dm.block);
                 if home.index() == u {
                     // The block returned home.
-                    self.trace_block(dm.block, &format!("returned home to u{u}"));
+                    self.trace_block(dm.block, || format!("returned home to u{u}"));
                     self.units[u].is_lent.clear(dm.block);
                     self.wake_unit(u, now);
                 } else {
@@ -935,10 +962,10 @@ impl System {
                     let stale = self.comm == CommPath::Bridges
                         && self.bridges[r].data_borrowed.peek(&dm.block) != Some(&uid);
                     if stale {
-                        self.trace_block(dm.block, &format!("stale at u{u}; bouncing home"));
+                        self.trace_block(dm.block, || format!("stale at u{u}; bouncing home"));
                         self.return_block_home(u, dm.block, now);
                     } else {
-                        self.trace_block(dm.block, &format!("admitted at u{u}"));
+                        self.trace_block(dm.block, || format!("admitted at u{u}"));
                         self.admit_borrowed_block(u, dm, now);
                     }
                 }
@@ -962,7 +989,7 @@ impl System {
     /// Sends an evicted borrowed block back to its home unit, cleaning
     /// bridge metadata along the way.
     fn return_block_home(&mut self, u: usize, block: BlockAddr, now: SimTime) {
-        self.trace_block(block, &format!("return_block_home from u{u}"));
+        self.trace_block(block, || format!("return_block_home from u{u}"));
         let home = self.map.block_home(block);
         let my_rank = self.cfg.geometry.rank_of(self.units[u].id);
         self.bridges[my_rank.index()].data_borrowed.remove(&block);
@@ -1086,12 +1113,10 @@ impl System {
     fn on_rank_round(&mut self, r: usize) {
         self.bridges[r].round_scheduled = false;
         let now = self.q.now();
-        let g = self.cfg.geometry.clone();
-        let timing = self.cfg.timing.clone();
         let gxfer = self.cfg.g_xfer;
-        let base = r * g.units_per_rank() as usize;
-        let chips = g.chips_per_rank as usize;
-        let banks = g.banks_per_chip as usize;
+        let base = r * self.cfg.geometry.units_per_rank() as usize;
+        let chips = self.cfg.geometry.chips_per_rank as usize;
+        let banks = self.cfg.geometry.banks_per_chip as usize;
         let fixed_trigger = self.cfg.trigger != TriggerPolicy::Dynamic;
         self.bridges[r].last_round_start = now;
         let mut t = now;
@@ -1104,9 +1129,9 @@ impl System {
         let start_pos = self.bridges[r].gather_cursor as usize % banks;
         'positions: for step in 0..banks {
             let pos = (start_pos + step) % banks;
-            let units_at: Vec<usize> = (0..chips).map(|c| base + c * banks + pos).collect();
+            let unit_at = |c: usize| base + c * banks + pos;
             let wanted = fixed_trigger
-                || units_at.iter().any(|&u| {
+                || (0..chips).map(unit_at).any(|u| {
                     !self.units[u].mailbox.is_empty() || !self.units[u].pending_out.is_empty()
                 });
             if !wanted {
@@ -1119,7 +1144,7 @@ impl System {
                 sink(&mut self.trace),
             );
             t = grant.end;
-            for &u in &units_at {
+            for u in (0..chips).map(unit_at) {
                 self.bridges[r].stats.gathers.inc();
                 // The bank read of the mailbox region (access arbiter).
                 self.units[u].bank.access_traced(
@@ -1127,12 +1152,13 @@ impl System {
                     MAILBOX_ROW,
                     gxfer,
                     false,
-                    &timing,
+                    &self.cfg.timing,
                     ComponentId::Unit(u as u32),
                     sink(&mut self.trace),
                 );
                 self.charge_comm(CommCause::Gather, gxfer as u64);
-                let msgs = self.units[u].mailbox.drain_up_to(gxfer);
+                let mut msgs = std::mem::take(&mut self.msg_scratch);
+                self.units[u].mailbox.drain_up_to_into(gxfer, &mut msgs);
                 let msg_count = msgs.len() as u32;
                 if msgs.is_empty() {
                     self.bridges[r].stats.wasted_gathers.inc();
@@ -1140,7 +1166,7 @@ impl System {
                     moved += msgs.len() as u64;
                 }
                 let mut gathered = 0u64;
-                for msg in msgs {
+                for msg in msgs.drain(..) {
                     gathered += msg.wire_bytes() as u64;
                     if paused {
                         // Put it back; we stopped absorbing.
@@ -1158,6 +1184,7 @@ impl System {
                         }
                     }
                 }
+                self.msg_scratch = msgs;
                 self.bridges[r].stats.bytes_gathered.add(gathered);
                 self.charge_sram(SramCause::BridgeGather, gathered);
                 if let Some(tr) = sink(&mut self.trace) {
@@ -1189,10 +1216,10 @@ impl System {
         // SCATTER phase.
         self.bridges[r].refill_from_backup();
         for pos in 0..banks {
-            let units_at: Vec<usize> = (0..chips).map(|c| base + c * banks + pos).collect();
-            let wanted = units_at
-                .iter()
-                .any(|&u| self.bridges[r].scatter_pending(self.local_index(u)) > 0);
+            let unit_at = |c: usize| base + c * banks + pos;
+            let wanted = (0..chips)
+                .map(unit_at)
+                .any(|u| self.bridges[r].scatter_pending(self.local_index(u)) > 0);
             if !wanted {
                 continue;
             }
@@ -1203,10 +1230,12 @@ impl System {
                 sink(&mut self.trace),
             );
             t = grant.end;
-            for &u in &units_at {
+            for u in (0..chips).map(unit_at) {
                 let local = self.local_index(u);
-                let msgs = self.bridges[r].drain_scatter(local, gxfer);
+                let mut msgs = std::mem::take(&mut self.msg_scratch);
+                self.bridges[r].drain_scatter_into(local, gxfer, &mut msgs);
                 if msgs.is_empty() {
+                    self.msg_scratch = msgs;
                     continue;
                 }
                 self.bridges[r].stats.scatters.inc();
@@ -1220,7 +1249,7 @@ impl System {
                     BORROW_ROW,
                     bytes as u32,
                     true,
-                    &timing,
+                    &self.cfg.timing,
                     ComponentId::Unit(u as u32),
                     sink(&mut self.trace),
                 );
@@ -1236,12 +1265,13 @@ impl System {
                         },
                     ));
                 }
-                for msg in msgs {
+                for msg in msgs.drain(..) {
                     if let Message::Data(dm, _) = &msg {
-                        self.trace_block(dm.block, &format!("scatter-deliver to u{u}"));
+                        self.trace_block(dm.block, || format!("scatter-deliver to u{u}"));
                     }
                     self.schedule_delivery(grant.end, u, msg);
                 }
+                self.msg_scratch = msgs;
             }
         }
 
@@ -1277,8 +1307,11 @@ impl System {
     fn on_link_round(&mut self, r: usize) {
         self.link_scheduled[r] = false;
         let now = self.q.now();
-        let msgs = self.bridges[r].up_mailbox.drain_up_to(u32::MAX);
-        for msg in msgs {
+        let mut msgs = std::mem::take(&mut self.msg_scratch);
+        self.bridges[r]
+            .up_mailbox
+            .drain_up_to_into(u32::MAX, &mut msgs);
+        for msg in msgs.drain(..) {
             let dest_rank = self.route_at_host(&msg);
             let bytes = msg.wire_bytes() as u64;
             let grant = self.link_bus[r].reserve_traced(
@@ -1290,6 +1323,7 @@ impl System {
             self.charge_sram(SramCause::Link, bytes);
             self.schedule_link_delivery(grant.end, dest_rank, msg);
         }
+        self.msg_scratch = msgs;
     }
 
     fn on_link_deliver(&mut self, dest: usize, msg: Message) {
@@ -1378,9 +1412,8 @@ impl System {
             return;
         }
         let now = self.q.now();
-        let g = self.cfg.geometry.clone();
-        let base = r * g.units_per_rank() as usize;
-        let n = g.units_per_rank() as usize;
+        let n = self.cfg.geometry.units_per_rank() as usize;
+        let base = r * n;
         // STATE-GATHER: one 64 B state message per child, all chips in
         // parallel per bank position.
         let state_bytes = 64u64 * n as u64;
@@ -1540,13 +1573,12 @@ impl System {
                 base + receivers[rr % receivers.len()]
             };
             let recv_id = UnitId(recv_global as u32);
-            self.trace_block(
-                sb.block,
-                &format!(
+            self.trace_block(sb.block, || {
+                format!(
                     "scheduled giver=u{giver} recv=u{recv_global} tasks={}",
                     sb.tasks.len()
-                ),
-            );
+                )
+            });
             self.metrics.inc(self.m.blocks_migrated);
             if let Some(tr) = sink(&mut self.trace) {
                 tr.record(TraceRecord::instant(
@@ -1746,14 +1778,17 @@ impl System {
     /// over the DDR channels.
     fn host_round_bridges(&mut self) {
         let now = self.q.now();
-        let g = self.cfg.geometry.clone();
         let mut t_end = now;
         // Gather from rank bridges' upward mailboxes.
         for r in 0..self.bridges.len() {
             if self.bridges[r].up_mailbox.is_empty() {
                 continue;
             }
-            let ch = g.channel_of_rank(ndpb_dram::RankId(r as u32)).index();
+            let ch = self
+                .cfg
+                .geometry
+                .channel_of_rank(ndpb_dram::RankId(r as u32))
+                .index();
             let bytes = self.bridges[r].up_mailbox.bytes_used();
             let grant = self.channel[ch].reserve_traced(
                 now,
@@ -1762,7 +1797,10 @@ impl System {
                 sink(&mut self.trace),
             );
             t_end = t_end.max(grant.end);
-            let msgs = self.bridges[r].up_mailbox.drain_up_to(u32::MAX);
+            let mut msgs = std::mem::take(&mut self.msg_scratch);
+            self.bridges[r]
+                .up_mailbox
+                .drain_up_to_into(u32::MAX, &mut msgs);
             self.host.stats.bytes_gathered.add(bytes);
             self.charge_sram(SramCause::HostGather, bytes);
             if let Some(tr) = sink(&mut self.trace) {
@@ -1777,10 +1815,11 @@ impl System {
                     },
                 ));
             }
-            for msg in msgs {
+            for msg in msgs.drain(..) {
                 let dest_rank = self.route_at_host(&msg);
                 self.host.enqueue_scatter(dest_rank, msg);
             }
+            self.msg_scratch = msgs;
         }
         let t = t_end + self.cfg.host_round_latency;
         // Scatter down to rank bridges.
@@ -1789,7 +1828,11 @@ impl System {
             if self.host.scatter_pending(r) == 0 {
                 continue;
             }
-            let ch = g.channel_of_rank(ndpb_dram::RankId(r as u32)).index();
+            let ch = self
+                .cfg
+                .geometry
+                .channel_of_rank(ndpb_dram::RankId(r as u32))
+                .index();
             let bytes = self.host.scatter_pending(r);
             let grant = self.channel[ch].reserve_traced(
                 t,
@@ -1798,7 +1841,8 @@ impl System {
                 sink(&mut self.trace),
             );
             final_end = final_end.max(grant.end);
-            let msgs = self.host.drain_scatter(r);
+            let mut msgs = std::mem::take(&mut self.msg_scratch);
+            self.host.drain_scatter_into(r, &mut msgs);
             self.host.stats.bytes_scattered.add(bytes);
             if let Some(tr) = sink(&mut self.trace) {
                 tr.record(TraceRecord::span(
@@ -1811,15 +1855,15 @@ impl System {
                     },
                 ));
             }
-            let mut leftover = Vec::new();
-            for msg in msgs {
+            // `absorb_at_rank` never touches the host scatter queues, so
+            // rejected messages re-enqueue directly in encounter order —
+            // same final order the old leftover buffer produced.
+            for msg in msgs.drain(..) {
                 if let Err(back) = self.absorb_at_rank(r, msg) {
-                    leftover.push(back);
+                    self.host.enqueue_scatter(r, back);
                 }
             }
-            for msg in leftover {
-                self.host.enqueue_scatter(r, msg);
-            }
+            self.msg_scratch = msgs;
             self.consider_rank_round(r, grant.end);
         }
         self.host.last_round_end = final_end;
@@ -1831,11 +1875,10 @@ impl System {
     /// back.
     fn host_round_direct(&mut self) {
         let now = self.q.now();
-        let g = self.cfg.geometry.clone();
-        let timing = self.cfg.timing.clone();
         let gxfer = self.cfg.g_xfer;
-        let chips = g.chips_per_rank as usize;
-        let banks = g.banks_per_chip as usize;
+        let chips = self.cfg.geometry.chips_per_rank as usize;
+        let banks = self.cfg.geometry.banks_per_chip as usize;
+        let upr = self.cfg.geometry.units_per_rank() as usize;
         let mut t_end = now;
         // Gather: per rank, per bank position (all chips parallel), the
         // data crosses the intra-rank wires AND the shared channel. The
@@ -1843,10 +1886,14 @@ impl System {
         // round polls every bank position — the fundamental bandwidth
         // waste of host forwarding (Section II-C).
         for r in 0..self.bridges.len() {
-            let base = r * g.units_per_rank() as usize;
-            let ch = g.channel_of_rank(ndpb_dram::RankId(r as u32)).index();
+            let base = r * upr;
+            let ch = self
+                .cfg
+                .geometry
+                .channel_of_rank(ndpb_dram::RankId(r as u32))
+                .index();
             for pos in 0..banks {
-                let units_at: Vec<usize> = (0..chips).map(|c| base + c * banks + pos).collect();
+                let unit_at = |c: usize| base + c * banks + pos;
                 let bytes = (chips as u64) * gxfer as u64;
                 let start = self.rank_bus[r]
                     .free_at()
@@ -1865,30 +1912,32 @@ impl System {
                     sink(&mut self.trace),
                 );
                 t_end = t_end.max(cg.end);
-                for &u in &units_at {
+                for u in (0..chips).map(unit_at) {
                     self.host.stats.gathers.inc();
                     self.units[u].bank.access_traced(
                         cg.start,
                         MAILBOX_ROW,
                         gxfer,
                         false,
-                        &timing,
+                        &self.cfg.timing,
                         ComponentId::Unit(u as u32),
                         sink(&mut self.trace),
                     );
                     self.charge_comm(CommCause::HostGather, gxfer as u64);
-                    let msgs = self.units[u].mailbox.drain_up_to(gxfer);
+                    let mut msgs = std::mem::take(&mut self.msg_scratch);
+                    self.units[u].mailbox.drain_up_to_into(gxfer, &mut msgs);
                     if msgs.is_empty() {
                         self.host.stats.wasted_gathers.inc();
                     }
                     let mut gathered = 0u64;
                     let msg_count = msgs.len() as u32;
-                    for msg in msgs {
+                    for msg in msgs.drain(..) {
                         gathered += msg.wire_bytes() as u64;
                         self.host.stats.bytes_gathered.add(msg.wire_bytes() as u64);
                         let dest_rank = self.route_at_host(&msg);
                         self.host.enqueue_scatter(dest_rank, msg);
                     }
+                    self.msg_scratch = msgs;
                     if let Some(tr) = sink(&mut self.trace) {
                         tr.record(TraceRecord::span(
                             cg.start,
@@ -1914,18 +1963,29 @@ impl System {
             if self.host.scatter_pending(r) == 0 {
                 continue;
             }
-            let ch = g.channel_of_rank(ndpb_dram::RankId(r as u32)).index();
-            let msgs = self.host.drain_scatter(r);
-            // Group by destination unit.
-            let mut per_unit: Vec<(usize, Vec<Message>)> = Vec::new();
-            for msg in msgs {
+            let ch = self
+                .cfg
+                .geometry
+                .channel_of_rank(ndpb_dram::RankId(r as u32))
+                .index();
+            let mut drained = std::mem::take(&mut self.msg_scratch);
+            self.host.drain_scatter_into(r, &mut drained);
+            // Group by destination unit, recycling the grouping table and
+            // its inner `Vec`s across rounds.
+            let mut per_unit = std::mem::take(&mut self.per_unit_scratch);
+            for msg in drained.drain(..) {
                 let dest = self.direct_dest_unit(&msg);
                 match per_unit.iter_mut().find(|(u, _)| *u == dest) {
                     Some((_, v)) => v.push(msg),
-                    None => per_unit.push((dest, vec![msg])),
+                    None => {
+                        let mut v = self.vec_pool.pop().unwrap_or_default();
+                        v.push(msg);
+                        per_unit.push((dest, v));
+                    }
                 }
             }
-            for (u, msgs) in per_unit {
+            self.msg_scratch = drained;
+            for (u, mut msgs) in per_unit.drain(..) {
                 let bytes: u64 = msgs.iter().map(|m| m.wire_bytes() as u64).sum();
                 let start = self.rank_bus[r]
                     .free_at()
@@ -1951,7 +2011,7 @@ impl System {
                     BORROW_ROW,
                     bytes as u32,
                     true,
-                    &timing,
+                    &self.cfg.timing,
                     ComponentId::Unit(u as u32),
                     sink(&mut self.trace),
                 );
@@ -1967,10 +2027,12 @@ impl System {
                         },
                     ));
                 }
-                for msg in msgs {
+                for msg in msgs.drain(..) {
                     self.schedule_delivery(cg.end, u, msg);
                 }
+                self.vec_pool.push(msgs);
             }
+            self.per_unit_scratch = per_unit;
         }
         self.host.last_round_end = final_end;
         self.consider_host_round(final_end);

@@ -1,7 +1,7 @@
 //! The NDP unit: one DRAM bank plus its wimpy core, unit controller
 //! state, task queues and load-balancing structures (Figure 4(b)).
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use ndpb_dram::{AddressMap, BankModel, BlockAddr, UnitId};
 use ndpb_proto::{Mailbox, Message};
@@ -81,7 +81,7 @@ pub struct NdpUnit {
     pending_workload: u64,
     sketch: HotSketch,
     reserved: ReservedQueue<Task>,
-    borrowed: HashMap<BlockAddr, Borrow>,
+    borrowed: crate::fasthash::FastMap<BlockAddr, Borrow>,
     borrow_clock: u64,
     borrow_capacity: usize,
     finished_workload: u64,
@@ -105,7 +105,7 @@ impl NdpUnit {
             pending_workload: 0,
             sketch: HotSketch::new(cfg.sketch.clone()),
             reserved: ReservedQueue::new(cfg.reserved_chunks, cfg.reserved_tasks_per_chunk),
-            borrowed: HashMap::new(),
+            borrowed: Default::default(),
             borrow_clock: 0,
             borrow_capacity: cfg.borrowed_capacity_blocks(),
             finished_workload: 0,
@@ -131,8 +131,12 @@ impl NdpUnit {
     pub fn enqueue_ready(&mut self, task: Task, hot_tracking: bool, map: &AddressMap) {
         let wl = task.workload_or_default();
         let block = map.block_of(task.data);
-        if let Some(b) = self.borrowed.get_mut(&block) {
-            b.pins += 1;
+        // Pin accounting only matters while borrows exist; skip the map
+        // probe on the (overwhelmingly common) borrow-free fast path.
+        if !self.borrowed.is_empty() {
+            if let Some(b) = self.borrowed.get_mut(&block) {
+                b.pins += 1;
+            }
         }
         self.pending_workload += wl;
         if hot_tracking && self.holds_block(block, map) {
@@ -180,9 +184,11 @@ impl NdpUnit {
             if let Some(t) = self.task_queue.pop_front() {
                 let wl = t.workload_or_default();
                 self.pending_workload -= wl;
-                let block = map.block_of(t.data);
-                if let Some(b) = self.borrowed.get_mut(&block) {
-                    b.pins = b.pins.saturating_sub(1);
+                if !self.borrowed.is_empty() {
+                    let block = map.block_of(t.data);
+                    if let Some(b) = self.borrowed.get_mut(&block) {
+                        b.pins = b.pins.saturating_sub(1);
+                    }
                 }
                 return Some(t);
             }
@@ -359,12 +365,14 @@ impl NdpUnit {
     fn choose_from_tail(&mut self, budget: u64, map: &AddressMap) -> Vec<ScheduledBlock> {
         let mut groups: Vec<(BlockAddr, Vec<Task>, u64)> = Vec::new();
         let mut collected = 0u64;
-        let mut keep: VecDeque<Task> = VecDeque::with_capacity(self.task_queue.len());
-        while let Some(task) = self.task_queue.pop_back() {
-            if collected >= budget {
-                keep.push_front(task);
-                continue;
-            }
+        let mut keep: VecDeque<Task> = VecDeque::new();
+        // Stop walking once the budget is met: the unexamined front of
+        // the queue stays in place, so `keep` only ever holds the
+        // examined-but-unpicked tail instead of the whole queue.
+        while collected < budget {
+            let Some(task) = self.task_queue.pop_back() else {
+                break;
+            };
             let block = map.block_of(task.data);
             if !self.lendable(block, map) && !groups.iter().any(|(b, _, _)| *b == block) {
                 keep.push_front(task);
@@ -380,7 +388,9 @@ impl NdpUnit {
                 None => groups.push((block, vec![task], wl)),
             }
         }
-        self.task_queue = keep;
+        // Re-append the kept tail behind the untouched front portion,
+        // preserving the original relative order.
+        self.task_queue.append(&mut keep);
         let mut out = Vec::new();
         for (block, mut tasks, wl) in groups {
             tasks.reverse(); // restore original queue order

@@ -195,10 +195,19 @@ impl Mailbox {
     /// fixed `G_xfer` gather granularity which always moves a full slot).
     pub fn drain_up_to(&mut self, budget_bytes: u32) -> Vec<Message> {
         let mut out = Vec::new();
+        self.drain_up_to_into(budget_bytes, &mut out);
+        out
+    }
+
+    /// Like [`drain_up_to`](Self::drain_up_to), but appends into a
+    /// caller-provided buffer so the hot gather path can recycle one
+    /// allocation across rounds. Returns the number of messages drained.
+    pub fn drain_up_to_into(&mut self, budget_bytes: u32, out: &mut Vec<Message>) -> usize {
+        let start = out.len();
         let mut drained = 0u32;
         while let Some(front) = self.queue.front() {
             let sz = front.wire_bytes();
-            if !out.is_empty() && drained + sz > budget_bytes {
+            if drained != 0 && drained + sz > budget_bytes {
                 break;
             }
             drained += sz;
@@ -208,10 +217,10 @@ impl Mailbox {
                 break;
             }
         }
-        if !out.is_empty() {
+        if drained != 0 {
             self.full_latched = false;
         }
-        out
+        out.len() - start
     }
 
     /// Bytes currently queued (the paper's `L_mailbox`).

@@ -1,13 +1,18 @@
 //! Generic discrete-event queue.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 
 /// An event queue ordering events by timestamp, breaking ties in
 /// first-scheduled-first-popped (FIFO) order so simulations are
-/// deterministic regardless of heap internals.
+/// deterministic: events pop in strictly nondecreasing `(time, seq)`
+/// order, where `seq` is the global schedule order.
+///
+/// Storage is a two-tier [`TimerWheel`] — per-tick FIFO buckets for the
+/// near horizon (`O(1)` schedule/pop for the bounded DRAM/bus latencies
+/// that dominate this simulator) backed by a sorted overflow heap for
+/// far-future events. The tie-break contract is independent of which tier
+/// an event lands in; see [`crate::wheel`] for the geometry.
 ///
 /// # Example
 ///
@@ -23,38 +28,10 @@ use crate::time::SimTime;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    wheel: TimerWheel<E>,
     seq: u64,
     now: SimTime,
     popped: u64,
-}
-
-#[derive(Debug)]
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -67,7 +44,7 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: TimerWheel::new(),
             seq: 0,
             now: SimTime::ZERO,
             popped: 0,
@@ -76,23 +53,27 @@ impl<E> EventQueue<E> {
 
     /// Current simulation time: the timestamp of the most recently popped
     /// event (zero before the first pop).
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
 
     /// Number of events popped so far; useful as a progress/abort metric.
+    #[inline]
     pub fn popped(&self) -> u64 {
         self.popped
     }
 
     /// Number of pending events.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// Whether no events are pending.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.is_empty()
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -100,13 +81,15 @@ impl<E> EventQueue<E> {
     /// Scheduling at exactly [`now`](Self::now) — e.g. from inside the
     /// handler of the event that advanced the clock to `at` — is legal
     /// and ordered FIFO *after* every event already pending at that
-    /// tick: ties break strictly by schedule order, never by heap
-    /// internals. `crates/sim/tests/event_order.rs` pins this contract.
+    /// tick: ties break strictly by schedule order, never by storage
+    /// internals (bucket, heap tier, or bitmap position).
+    /// `crates/sim/tests/event_order.rs` pins this contract.
     ///
     /// # Panics
     ///
     /// Panics if `at` is strictly earlier than the current time: the
     /// simulation cannot travel backwards.
+    #[inline]
     pub fn schedule(&mut self, at: SimTime, event: E) {
         assert!(
             at >= self.now,
@@ -116,26 +99,29 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.wheel.insert(self.now, at, seq, event);
     }
 
     /// Schedules `event` `delay` after the current time.
+    #[inline]
     pub fn schedule_after(&mut self, delay: SimTime, event: E) {
         self.schedule(self.now + delay, event);
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now);
-        self.now = entry.at;
+        let (at, _seq, event) = self.wheel.pop(self.now)?;
+        debug_assert!(at >= self.now);
+        self.now = at;
         self.popped += 1;
-        Some((entry.at, entry.event))
+        Some((at, event))
     }
 
     /// Timestamp of the next pending event without popping it.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.wheel.peek(self.now)
     }
 }
 
@@ -202,6 +188,21 @@ mod tests {
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn far_future_and_near_events_interleave_in_time_order() {
+        use crate::wheel::WHEEL_SLOTS;
+        let mut q = EventQueue::new();
+        let far = WHEEL_SLOTS as u64 * 3 + 17;
+        q.schedule(SimTime::from_ticks(far), 'z');
+        q.schedule(SimTime::from_ticks(2), 'a');
+        q.schedule(SimTime::from_ticks(far), 'y'); // same far tick, later seq
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ticks(2)));
+        assert_eq!(q.pop().unwrap().1, 'a');
+        assert_eq!(q.pop().unwrap(), (SimTime::from_ticks(far), 'z'));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_ticks(far), 'y'));
     }
 
     #[test]

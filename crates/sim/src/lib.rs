@@ -8,7 +8,10 @@
 //!   400 MHz is exactly [`TICKS_PER_CORE_CYCLE`] ticks, which keeps all
 //!   timing arithmetic integral and deterministic.
 //! * [`EventQueue`] — a generic priority queue of timestamped events with
-//!   FIFO tie-breaking, the heart of the discrete-event engine.
+//!   FIFO tie-breaking, the heart of the discrete-event engine. Backed by
+//!   [`wheel`], a two-tier timer wheel (per-tick calendar buckets plus an
+//!   overflow heap) that makes the common bounded-latency schedule/pop
+//!   pattern `O(1)`.
 //! * [`rng`] — a small, seedable SplitMix64/xoshiro RNG so simulations are
 //!   reproducible without depending on `rand` in the hot path.
 //! * [`fingerprint`] — a stable 64-bit FNV-1a hasher used to
@@ -36,6 +39,7 @@ pub mod fingerprint;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
 pub use events::EventQueue;
 pub use fingerprint::Fnv1a64;

@@ -49,63 +49,75 @@ impl SimTime {
     pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Creates a time from a raw tick count.
+    #[inline]
     pub const fn from_ticks(ticks: u64) -> Self {
         SimTime(ticks)
     }
 
     /// Creates a time from NDP core cycles (400 MHz).
+    #[inline]
     pub const fn from_core_cycles(cycles: u64) -> Self {
         SimTime(cycles * TICKS_PER_CORE_CYCLE)
     }
 
     /// Creates a time from DDR bus cycles (1200 MHz).
+    #[inline]
     pub const fn from_bus_cycles(cycles: u64) -> Self {
         SimTime(cycles * TICKS_PER_BUS_CYCLE)
     }
 
     /// Creates a time from nanoseconds, rounding up to the next tick so
     /// that modeled latencies are never optimistic.
+    #[inline]
     pub const fn from_ns_ceil(ns: u64) -> Self {
         SimTime((ns * TICKS_PER_NS_NUM).div_ceil(TICKS_PER_NS_DEN))
     }
 
     /// The raw tick count.
+    #[inline]
     pub const fn ticks(self) -> u64 {
         self.0
     }
 
     /// This time expressed in whole NDP core cycles (truncating).
+    #[inline]
     pub const fn core_cycles(self) -> u64 {
         self.0 / TICKS_PER_CORE_CYCLE
     }
 
     /// This time expressed in nanoseconds as a float (for reporting only).
+    #[inline]
     pub fn as_ns(self) -> f64 {
         self.0 as f64 * TICKS_PER_NS_DEN as f64 / TICKS_PER_NS_NUM as f64
     }
 
     /// This time in seconds as a float (for energy/power reporting only).
+    #[inline]
     pub fn as_secs(self) -> f64 {
         self.as_ns() * 1e-9
     }
 
     /// Saturating subtraction: `self - other`, or zero if `other` is later.
+    #[inline]
     pub fn saturating_sub(self, other: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(other.0))
     }
 
     /// Checked addition, `None` on overflow. Useful when adding to
     /// [`SimTime::MAX`] sentinels.
+    #[inline]
     pub fn checked_add(self, d: SimTime) -> Option<SimTime> {
         self.0.checked_add(d.0).map(SimTime)
     }
 
     /// The larger of two times.
+    #[inline]
     pub fn max(self, other: SimTime) -> SimTime {
         SimTime(self.0.max(other.0))
     }
 
     /// The smaller of two times.
+    #[inline]
     pub fn min(self, other: SimTime) -> SimTime {
         SimTime(self.0.min(other.0))
     }
@@ -113,12 +125,14 @@ impl SimTime {
 
 impl Add for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, rhs: SimTime) -> SimTime {
         SimTime(self.0 + rhs.0)
     }
 }
 
 impl AddAssign for SimTime {
+    #[inline]
     fn add_assign(&mut self, rhs: SimTime) {
         self.0 += rhs.0;
     }
@@ -126,12 +140,14 @@ impl AddAssign for SimTime {
 
 impl Sub for SimTime {
     type Output = SimTime;
+    #[inline]
     fn sub(self, rhs: SimTime) -> SimTime {
         SimTime(self.0 - rhs.0)
     }
 }
 
 impl SubAssign for SimTime {
+    #[inline]
     fn sub_assign(&mut self, rhs: SimTime) {
         self.0 -= rhs.0;
     }

@@ -1,0 +1,319 @@
+//! Two-tier timer wheel: the storage backend of [`EventQueue`].
+//!
+//! Nearly every event in this simulator is scheduled a bounded DRAM or bus
+//! latency ahead of the clock — tens to a few thousand ticks (CAS ≈ 41
+//! ticks, a gather round ≈ `I_min` = 4096 ticks at Table I geometry). A
+//! comparison-based heap pays `O(log n)` per operation and a cache miss per
+//! level for what is almost always a "schedule a few hundred ticks out"
+//! pattern. The wheel turns that common case into `O(1)`:
+//!
+//! * **Near tier** — a calendar of [`WHEEL_SLOTS`] per-tick FIFO buckets.
+//!   An event at absolute tick `t` with `t - now < WHEEL_SLOTS` lands in
+//!   bucket `t % WHEEL_SLOTS`. Because the live window is exactly
+//!   [`WHEEL_SLOTS`] ticks wide, a non-empty bucket always holds a single
+//!   tick's events, in insertion order — FIFO within the bucket *is* the
+//!   `(time, seq)` order. A two-level occupancy bitmap (one summary word
+//!   over 64 slot words) finds the next non-empty bucket with a handful of
+//!   bit operations instead of a scan.
+//! * **Far tier** — a sorted overflow heap for events at or beyond the
+//!   horizon (periodic `I_state` timers, congested bus grants). Overflow
+//!   entries are never migrated into the wheel; [`TimerWheel::pop`]
+//!   compares the wheel front against the heap front by `(time, seq)` and
+//!   takes the smaller, so an old far-future event still pops before a
+//!   younger same-tick event that was scheduled directly into the wheel.
+//!
+//! The determinism contract is exactly the one the old `BinaryHeap`
+//! implementation had: events pop in strictly nondecreasing `(time, seq)`
+//! order, where `seq` is the global schedule order. `crates/sim/tests/`
+//! pins this against a reference heap model with randomized schedules.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::time::SimTime;
+
+/// Number of per-tick buckets in the near tier. Events scheduled fewer
+/// than this many ticks ahead of the clock go to the wheel; everything
+/// else goes to the overflow heap.
+///
+/// 4096 ticks ≈ 1.7 µs covers every DRAM/bus latency and the Table I
+/// gather interval; only the coarse periodic timers (`I_state` = 12000
+/// ticks) and heavily congested bus grants overflow, and those are rare
+/// enough that heap cost on them is noise.
+pub const WHEEL_SLOTS: usize = 4096;
+
+const SLOT_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+/// 64 slots per occupancy word.
+const WORDS: usize = WHEEL_SLOTS / 64;
+
+/// A two-tier calendar queue ordering `(time, seq, event)` triples by
+/// `(time, seq)`.
+///
+/// The wheel does not own the clock or the sequence counter — the caller
+/// ([`EventQueue`]) passes `now` into [`insert`](Self::insert),
+/// [`pop`](Self::pop) and [`peek`](Self::peek) and guarantees that
+/// * every inserted `at` is `>= now`,
+/// * `seq` values are inserted in strictly increasing order, and
+/// * `now` only advances to timestamps returned by `pop` (so no pending
+///   event is ever earlier than `now`).
+///
+/// [`EventQueue`]: crate::EventQueue
+#[derive(Debug)]
+pub struct TimerWheel<E> {
+    buckets: Vec<Bucket<E>>,
+    /// Bit `i % 64` of word `i / 64` set ⇔ bucket `i` is non-empty.
+    words: Vec<u64>,
+    /// Bit `w` set ⇔ `words[w] != 0`.
+    summary: u64,
+    /// Events currently in the near tier.
+    wheel_len: usize,
+    overflow: BinaryHeap<Overflow<E>>,
+}
+
+#[derive(Debug)]
+struct Bucket<E> {
+    /// `(at, seq, event)` in insertion (= `seq`) order; all live entries
+    /// share the same `at`.
+    items: VecDeque<(SimTime, u64, E)>,
+}
+
+#[derive(Debug)]
+struct Overflow<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Overflow<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Overflow<E> {}
+impl<E> PartialOrd for Overflow<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Overflow<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // surfaces first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimerWheel<E> {
+    /// Creates an empty wheel. Buckets are lazily allocated: an untouched
+    /// bucket is an empty `VecDeque`, which holds no heap memory.
+    pub fn new() -> Self {
+        TimerWheel {
+            buckets: (0..WHEEL_SLOTS)
+                .map(|_| Bucket {
+                    items: VecDeque::new(),
+                })
+                .collect(),
+            words: vec![0; WORDS],
+            summary: 0,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    /// Total pending events across both tiers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts `event` at `(at, seq)`. The caller guarantees `at >= now`
+    /// and that `seq` is strictly greater than every previously inserted
+    /// sequence number.
+    #[inline]
+    pub fn insert(&mut self, now: SimTime, at: SimTime, seq: u64, event: E) {
+        debug_assert!(at >= now);
+        if at.ticks() - now.ticks() < WHEEL_SLOTS as u64 {
+            let idx = (at.ticks() & SLOT_MASK) as usize;
+            let bucket = &mut self.buckets[idx];
+            // The window [now, now + WHEEL_SLOTS) is exactly one wheel
+            // revolution wide, so a live bucket holds a single tick.
+            debug_assert!(bucket.items.front().is_none_or(|&(t, _, _)| t == at));
+            bucket.items.push_back((at, seq, event));
+            self.words[idx >> 6] |= 1 << (idx & 63);
+            self.summary |= 1 << (idx >> 6);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Overflow { at, seq, event });
+        }
+    }
+
+    /// Removes and returns the pending event with the smallest
+    /// `(time, seq)`, or `None` if the wheel is empty.
+    #[inline]
+    pub fn pop(&mut self, now: SimTime) -> Option<(SimTime, u64, E)> {
+        let wheel_front = self.front_bucket(now);
+        let take_overflow = match (wheel_front, self.overflow.peek()) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some((at, seq, _)), Some(o)) => (o.at, o.seq) < (at, seq),
+        };
+        if take_overflow {
+            let o = self.overflow.pop().expect("peeked entry vanished");
+            return Some((o.at, o.seq, o.event));
+        }
+        let (_, _, idx) = wheel_front.expect("non-overflow pop with empty wheel");
+        let bucket = &mut self.buckets[idx];
+        let entry = bucket.items.pop_front().expect("occupied bucket was empty");
+        self.wheel_len -= 1;
+        if bucket.items.is_empty() {
+            self.words[idx >> 6] &= !(1 << (idx & 63));
+            if self.words[idx >> 6] == 0 {
+                self.summary &= !(1 << (idx >> 6));
+            }
+        }
+        Some(entry)
+    }
+
+    /// Timestamp of the next pending event, without removing it.
+    #[inline]
+    pub fn peek(&self, now: SimTime) -> Option<SimTime> {
+        let wheel = self.front_bucket(now).map(|(at, _, _)| at);
+        let heap = self.overflow.peek().map(|o| o.at);
+        match (wheel, heap) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// `(at, seq, bucket_index)` of the earliest near-tier event, if any.
+    #[inline]
+    fn front_bucket(&self, now: SimTime) -> Option<(SimTime, u64, usize)> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let idx = self.next_occupied((now.ticks() & SLOT_MASK) as usize);
+        let &(at, seq, _) = self.buckets[idx]
+            .items
+            .front()
+            .expect("occupancy bit set on empty bucket");
+        Some((at, seq, idx))
+    }
+
+    /// Index of the first non-empty bucket at or after `start` in circular
+    /// slot order. Requires `wheel_len > 0`.
+    ///
+    /// Circular order from `now % WHEEL_SLOTS` is tick order: every
+    /// pending near-tier event lies in `[now, now + WHEEL_SLOTS)`, and
+    /// that window maps one-to-one onto the slots.
+    #[inline]
+    fn next_occupied(&self, start: usize) -> usize {
+        debug_assert!(self.wheel_len > 0);
+        let sw = start >> 6;
+        let sb = start & 63;
+        // Bits of the start word at or after the start slot.
+        let hi = self.words[sw] & (!0u64 << sb);
+        if hi != 0 {
+            return (sw << 6) | hi.trailing_zeros() as usize;
+        }
+        // Whole words strictly after the start word.
+        if sw + 1 < WORDS {
+            let later = self.summary & (!0u64 << (sw + 1));
+            if later != 0 {
+                let w = later.trailing_zeros() as usize;
+                return (w << 6) | self.words[w].trailing_zeros() as usize;
+            }
+        }
+        // Wrapped: whole words strictly before the start word…
+        let earlier = self.summary & !(!0u64 << sw);
+        if earlier != 0 {
+            let w = earlier.trailing_zeros() as usize;
+            return (w << 6) | self.words[w].trailing_zeros() as usize;
+        }
+        // …then the low bits of the start word itself.
+        let lo = self.words[sw] & !(!0u64 << sb);
+        debug_assert!(lo != 0, "wheel_len > 0 but no occupancy bit set");
+        (sw << 6) | lo.trailing_zeros() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<E>(w: &mut TimerWheel<E>) -> Vec<(SimTime, u64, E)> {
+        let mut now = SimTime::ZERO;
+        std::iter::from_fn(|| {
+            let e = w.pop(now)?;
+            now = e.0;
+            Some(e)
+        })
+        .collect()
+    }
+
+    #[test]
+    fn single_bucket_is_fifo() {
+        let mut w = TimerWheel::new();
+        for seq in 0..10u64 {
+            w.insert(SimTime::ZERO, SimTime::from_ticks(3), seq, seq);
+        }
+        let order: Vec<u64> = drain(&mut w).into_iter().map(|(_, _, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn overflow_interleaves_with_wheel_by_seq() {
+        let mut w = TimerWheel::new();
+        let far = SimTime::from_ticks(2 * WHEEL_SLOTS as u64);
+        // seq 0 goes far-future (overflow tier).
+        w.insert(SimTime::ZERO, far, 0, "overflow");
+        // Clock moves close enough that the same tick is now near-tier.
+        let now = SimTime::from_ticks(far.ticks() - 10);
+        w.insert(now, far, 1, "wheel");
+        assert_eq!(w.len(), 2);
+        let (t1, s1, e1) = w.pop(now).unwrap();
+        let (t2, s2, e2) = w.pop(far).unwrap();
+        assert_eq!((t1, s1, e1), (far, 0, "overflow"));
+        assert_eq!((t2, s2, e2), (far, 1, "wheel"));
+    }
+
+    #[test]
+    fn slot_collision_across_revolutions_is_impossible_but_ordered() {
+        // Tick t and t + WHEEL_SLOTS share a slot; the second must sit in
+        // the overflow tier until the window advances past t.
+        let mut w = TimerWheel::new();
+        let t = SimTime::from_ticks(100);
+        let t2 = SimTime::from_ticks(100 + WHEEL_SLOTS as u64);
+        w.insert(SimTime::ZERO, t, 0, "near");
+        w.insert(SimTime::ZERO, t2, 1, "far");
+        let (a, _, ea) = w.pop(SimTime::ZERO).unwrap();
+        let (b, _, eb) = w.pop(a).unwrap();
+        assert_eq!((a, ea), (t, "near"));
+        assert_eq!((b, eb), (t2, "far"));
+    }
+
+    #[test]
+    fn occupancy_bitmap_survives_sparse_times() {
+        let mut w = TimerWheel::new();
+        // One event per occupancy word, popped in order.
+        for i in 0..WORDS as u64 {
+            w.insert(SimTime::ZERO, SimTime::from_ticks(i * 64 + 7), i, i);
+        }
+        let order: Vec<u64> = drain(&mut w).into_iter().map(|(_, _, e)| e).collect();
+        assert_eq!(order, (0..WORDS as u64).collect::<Vec<_>>());
+        assert!(w.is_empty());
+        assert_eq!(w.summary, 0);
+    }
+}

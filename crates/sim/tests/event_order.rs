@@ -4,13 +4,14 @@
 //! The simulator relies on two properties for determinism:
 //!
 //! 1. events at the same `SimTime` pop in first-scheduled order (FIFO),
-//!    regardless of `BinaryHeap` internals;
+//!    regardless of how the timer wheel stores them (bucket FIFO or
+//!    overflow heap);
 //! 2. an event scheduled *at* `now()` from inside a handler (i.e. while
 //!    popping another event of the same tick) neither panics nor jumps
 //!    ahead of events already pending at that tick.
 //!
 //! Property 2 is the subtle one: a naive `at > now` guard would panic,
-//! and a heap without a sequence tie-break could pop the late arrival
+//! and a queue without a sequence tie-break could pop the late arrival
 //! before earlier same-tick events.
 
 use ndpb_sim::{EventQueue, SimTime};
@@ -88,9 +89,10 @@ fn recursive_same_tick_chains_stay_fifo() {
 }
 
 #[test]
-fn fifo_survives_heap_stress() {
-    // Enough same-tick events to force heap rebalancing; a tie-break by
-    // heap position instead of sequence number would shuffle these.
+fn fifo_survives_bucket_stress() {
+    // Enough same-tick events to grow the per-tick bucket well past its
+    // initial capacity; a tie-break by storage position instead of
+    // sequence number would shuffle these.
     let mut q = EventQueue::new();
     for wave in 0..3u64 {
         for i in 0..500u64 {

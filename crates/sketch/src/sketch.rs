@@ -73,6 +73,11 @@ struct Entry {
 pub struct HotSketch {
     config: SketchConfig,
     buckets: Vec<Vec<Entry>>,
+    /// Memo of `decay_base.powf(-wl)` for small `wl` (the common case:
+    /// workloads repeat constantly). `powf` is a libm call on the
+    /// per-enqueue path; caching the exact value it returned keeps the
+    /// decay probabilities bit-identical while skipping the recompute.
+    decay_memo: Vec<f64>,
 }
 
 impl HotSketch {
@@ -86,8 +91,33 @@ impl HotSketch {
             config.buckets > 0 && config.entries_per_bucket > 0,
             "sketch must have positive geometry"
         );
-        let buckets = vec![Vec::with_capacity(config.entries_per_bucket); config.buckets];
-        HotSketch { config, buckets }
+        // Buckets start with no capacity: a `System` builds one sketch
+        // per unit even for designs that never touch it, so all heap
+        // growth is deferred to first use.
+        let buckets = vec![Vec::new(); config.buckets];
+        HotSketch {
+            config,
+            buckets,
+            decay_memo: Vec::new(),
+        }
+    }
+
+    /// `decay_base^(-wl)`, memoized for small `wl`. Values are computed
+    /// by the same `powf` call either way, so the memo is invisible to
+    /// the decay outcome.
+    fn decay_probability(&mut self, wl: u64) -> f64 {
+        let base = self.config.decay_base;
+        if wl >= 1024 {
+            return base.powf(-(wl as f64));
+        }
+        if self.decay_memo.is_empty() {
+            self.decay_memo.resize(1024, f64::NAN);
+        }
+        let slot = &mut self.decay_memo[wl as usize];
+        if slot.is_nan() {
+            *slot = base.powf(-(wl as f64));
+        }
+        *slot
     }
 
     fn bucket_of(&self, key: u64) -> usize {
@@ -101,7 +131,6 @@ impl HotSketch {
     pub fn record(&mut self, key: u64, workload: u64, rng: &mut SimRng) {
         let cap = self.config.counter_cap;
         let per = self.config.entries_per_bucket;
-        let base = self.config.decay_base;
         let b = self.bucket_of(key);
         let bucket = &mut self.buckets[b];
 
@@ -123,8 +152,9 @@ impl HotSketch {
             .min_by_key(|(_, e)| e.workload)
             .map(|(i, e)| (i, e.workload))
             .expect("bucket is non-empty");
-        let p = base.powf(-(min_wl as f64));
+        let p = self.decay_probability(min_wl);
         if rng.chance(p) {
+            let bucket = &mut self.buckets[b];
             if min_wl <= workload {
                 bucket[min_idx] = Entry {
                     key,

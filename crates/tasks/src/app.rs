@@ -112,6 +112,29 @@ impl ExecCtx {
     pub fn into_spawned(self) -> Vec<Task> {
         self.spawned
     }
+
+    /// Takes the spawned tasks out, leaving the context reusable (its
+    /// other buffers keep their contents until the next [`reset`]).
+    ///
+    /// [`reset`]: Self::reset
+    pub fn take_spawned(&mut self) -> Vec<Task> {
+        std::mem::take(&mut self.spawned)
+    }
+
+    /// Resets this context for reuse on `unit`, adopting `spawned`
+    /// (cleared) as the spawn buffer. Together with
+    /// [`take_spawned`](Self::take_spawned) this lets an event loop
+    /// execute every task without per-task heap allocation: the
+    /// read/write buffers keep their capacity, and spawn `Vec`s cycle
+    /// through a caller-owned free list.
+    pub fn reset(&mut self, unit: UnitId, mut spawned: Vec<Task>) {
+        spawned.clear();
+        self.unit = unit;
+        self.compute_cycles = 0;
+        self.reads.clear();
+        self.writes.clear();
+        self.spawned = spawned;
+    }
 }
 
 /// A workload expressed in the task model.
