@@ -69,4 +69,43 @@ if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool BENCH_repro.json > /dev/null
 fi
 
+echo "== repro serve smoke: run / dedup-cache / metrics / graceful shutdown =="
+# Drives the resident service over its line protocol (same port as
+# HTTP, one command per connection) through bash's /dev/tcp — no curl
+# or netcat needed. The sequence asserts the service pipeline
+# end-to-end: submit a Tiny point, poll the job to completion, resubmit
+# the identical request (must be a cache hit, not a second simulation),
+# check /metrics reflects that, then shut down gracefully and require a
+# clean exit.
+"$REPRO" serve --port 0 --jobs 2 --cache-dir "$SMOKE_DIR/serve-cache" \
+    2> "$SMOKE_DIR/serve.log" &
+SRV=$!
+SERVE_PORT=""
+for _ in $(seq 1 100); do
+    SERVE_PORT=$(grep -o 'listening on 127\.0\.0\.1:[0-9]*' "$SMOKE_DIR/serve.log" 2>/dev/null | grep -o '[0-9]*$' || true)
+    [ -n "$SERVE_PORT" ] && break
+    kill -0 "$SRV" 2>/dev/null || { echo "serve exited early:"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$SERVE_PORT" ] || { echo "serve never reported its port"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+serve_cmd() {  # one line-protocol command, prints the one-line JSON reply
+    exec 3<>"/dev/tcp/127.0.0.1/$SERVE_PORT"
+    printf '%s\n' "$1" >&3
+    IFS= read -r REPLY <&3
+    exec 3<&- 3>&-
+    printf '%s\n' "$REPLY"
+}
+serve_cmd 'run {"app":"ll","design":"C","scale":"tiny"}' | grep -q '"id":1'
+for _ in $(seq 1 600); do
+    JOB=$(serve_cmd 'job 1')
+    case "$JOB" in *'"status":"done"'*) break ;; esac
+    sleep 0.2
+done
+case "$JOB" in *'"status":"done"'*) ;; *) echo "job 1 never finished: $JOB"; exit 1 ;; esac
+serve_cmd 'run {"app":"ll","design":"C","scale":"tiny"}' | grep -q '"status":"done"'
+serve_cmd 'metrics' | grep -q '"cache_hits":1'
+serve_cmd 'shutdown' | grep -q '"draining":true'
+wait "$SRV"   # graceful shutdown must exit 0 (set -e gates this)
+grep -q "drained, exiting" "$SMOKE_DIR/serve.log"
+
 echo "CI OK"

@@ -13,7 +13,7 @@
 //! or cross-point parallelism muddying them.
 //!
 //! The *paper-scale* numbers come from the `repro` binary
-//! (`cargo run --release -p ndpb-bench --bin repro -- all --full`).
+//! (`cargo run --release --bin repro -- all --full`).
 
 use ndpb_bench::timing::bench;
 use ndpb_bench::{Column, SweepPoint, Sweeper};

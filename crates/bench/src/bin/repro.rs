@@ -1,14 +1,22 @@
 //! `repro` — regenerate every table and figure of the NDPBridge paper.
 //!
 //! ```text
-//! cargo run --release -p ndpb-bench --bin repro -- <subcommand> \
+//! cargo run --release --bin repro -- <subcommand> \
 //!     [--tiny|--small|--full] [--apps a,b,c] [--jobs N] \
 //!     [--cache-dir path] [--no-cache]
 //! ```
 //!
 //! Subcommands: `table1 table2 fig2 fig10 fig11 fig12 fig13 fig14a
 //! fig14b fig15 fig16a fig16b fig16c fig16d split-dimm dimm-link
-//! audit all`.
+//! audit all`, plus `serve` (the resident ndpb-serve front-end) and
+//! `bench` (engine throughput).
+//!
+//! `serve [--port N] [--jobs N] [--cache-dir D] [--max-queue N]
+//! [--max-points N]` runs the simulator as a long-running service:
+//! `POST /run`, `GET /job/{id}`, `GET /metrics`, `GET /healthz`,
+//! `POST /shutdown` (see `crates/serve`). The service shares the CLI's
+//! on-disk result cache, so warm CLI runs make the service fast and
+//! vice versa.
 //!
 //! `--audit` forces the conservation auditor on for every simulated
 //! point (message conservation, toArrive balance, dataBorrowed
@@ -55,6 +63,12 @@ struct Opts {
     reps: Option<u32>,
     /// `bench`: fewer reps for a CI smoke.
     quick: bool,
+    /// `serve`: TCP port (0 picks an ephemeral one).
+    port: u16,
+    /// `serve`: admission bound on unique in-flight points.
+    max_queue: usize,
+    /// `serve`: admission bound on points per request.
+    max_points: usize,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -70,6 +84,9 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut cache_dir = None;
     let mut no_cache = false;
     let mut audit = false;
+    let mut port = 7878u16;
+    let mut max_queue = 256usize;
+    let mut max_points = 64usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -102,6 +119,33 @@ fn parse_opts(args: &[String]) -> Opts {
                 }
             }
             "--quick" => quick = true,
+            "--port" => {
+                port = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(p) => p,
+                    None => {
+                        eprintln!("--port expects a TCP port, e.g. --port 7878");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--max-queue" => {
+                max_queue = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--max-queue expects a count, e.g. --max-queue 256");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--max-points" => {
+                max_points = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--max-points expects a count, e.g. --max-points 64");
+                        std::process::exit(2);
+                    }
+                };
+            }
             _ => {}
         }
     }
@@ -118,6 +162,50 @@ fn parse_opts(args: &[String]) -> Opts {
         audit,
         reps,
         quick,
+        port,
+        max_queue,
+        max_points,
+    }
+}
+
+/// `repro serve`: run the resident simulation service (see
+/// `crates/serve`) until SIGINT or `POST /shutdown`.
+fn serve(o: &Opts) {
+    let cfg = ndpb_serve::ServerConfig {
+        port: o.port,
+        jobs: o.jobs.unwrap_or_else(ndpb_bench::sweep::default_jobs),
+        cache_dir: if o.no_cache {
+            None
+        } else {
+            Some(
+                o.cache_dir
+                    .clone()
+                    .unwrap_or_else(|| "target/repro-cache".to_string())
+                    .into(),
+            )
+        },
+        max_queue: o.max_queue,
+        max_points: o.max_points,
+    };
+    let server = match ndpb_serve::Server::bind(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind port {}: {e}", o.port);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[serve] jobs={} cache={} max-queue={} max-points={}",
+        cfg.jobs,
+        cfg.cache_dir
+            .as_ref()
+            .map_or("off".to_string(), |d| d.display().to_string()),
+        cfg.max_queue,
+        cfg.max_points
+    );
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        std::process::exit(1);
     }
 }
 
@@ -755,6 +843,7 @@ fn bench_engine(o: &Opts) {
         "design", "events", "median s", "events/sec"
     );
     let mut rows = Vec::new();
+    let mut stat_rows: Vec<(String, u64, f64)> = Vec::new();
     let mut total_events = 0u64;
     let mut total_median = 0.0;
     for (ci, col) in cols.iter().enumerate() {
@@ -773,6 +862,7 @@ fn bench_engine(o: &Opts) {
         );
         total_events += events[ci];
         total_median += med;
+        stat_rows.push((col.label(), events[ci], eps));
         let wall_list = walls[ci]
             .iter()
             .map(|w| format!("{w:.6}"))
@@ -813,6 +903,67 @@ fn bench_engine(o: &Opts) {
     match std::fs::write(path, &body) {
         Ok(()) => eprintln!("[wrote {path}]"),
         Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+    print_baseline_delta(&stat_rows, scale);
+}
+
+/// Compares a `repro bench` run against the committed baseline in
+/// `docs/repro/BENCH_repro.json`, when one exists. Throughput ratios
+/// are informational (machines differ); event-count drift is called
+/// out loudly because the simulator is deterministic — a changed count
+/// means changed behaviour, not noise.
+fn print_baseline_delta(rows: &[(String, u64, f64)], scale: Scale) {
+    let path = std::path::Path::new("docs/repro/BENCH_repro.json");
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let Ok(base) = ndpb_bench::json::Json::parse(&text) else {
+        eprintln!(
+            "[baseline {} is not valid JSON; skipping delta]",
+            path.display()
+        );
+        return;
+    };
+    let base_scale = base.str_field("scale").unwrap_or("?");
+    if base_scale != format!("{scale:?}") {
+        eprintln!(
+            "[baseline {} is scale {base_scale}, this run is {scale:?}; skipping delta]",
+            path.display()
+        );
+        return;
+    }
+    let Some(designs) = base.get("designs").and_then(|d| d.as_arr()) else {
+        return;
+    };
+    println!(
+        "\nvs committed baseline ({}, reps={}):",
+        path.display(),
+        base.u64_field("reps").unwrap_or(0)
+    );
+    println!(
+        "{:<8}{:>14}{:>14}{:>10}",
+        "design", "base ev/s", "now ev/s", "ratio"
+    );
+    for (label, events, eps) in rows {
+        let Some(b) = designs
+            .iter()
+            .find(|d| d.str_field("design") == Some(label.as_str()))
+        else {
+            println!("{label:<8}{:>14}{:>14.0}{:>10}", "-", eps, "new");
+            continue;
+        };
+        let base_eps = b
+            .get("events_per_sec")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let ratio = if base_eps > 0.0 { eps / base_eps } else { 0.0 };
+        print!("{label:<8}{base_eps:>14.0}{eps:>14.0}{ratio:>9.2}x");
+        match b.u64_field("events") {
+            Some(be) if be != *events => {
+                println!("   EVENT-COUNT DRIFT: {be} -> {events}");
+            }
+            _ => println!(),
+        }
     }
 }
 
@@ -934,6 +1085,7 @@ fn main() {
         "dimm-link" => dimm_link(&o),
         "audit" => audit_breakdown(&o),
         "bench" => bench_engine(&o),
+        "serve" => serve(&o),
         "all" => {
             table1();
             println!();
@@ -964,7 +1116,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown subcommand {other:?}");
-            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|audit|bench|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--jobs N] [--cache-dir path] [--no-cache] [--audit] [--json path] [--trace path] [--metrics-json path] [--reps N] [--quick]");
+            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|audit|bench|serve|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--jobs N] [--cache-dir path] [--no-cache] [--audit] [--json path] [--trace path] [--metrics-json path] [--reps N] [--quick] [--port N] [--max-queue N] [--max-points N]");
             std::process::exit(2);
         }
     }
@@ -992,6 +1144,6 @@ fn main() {
             _ => ("--small", "docs/repro/repro_small.txt"),
         };
         eprintln!("[reference outputs live in docs/repro/; regenerate with:");
-        eprintln!(" cargo run --release -p ndpb-bench --bin repro -- all {flag} > {file}]");
+        eprintln!(" cargo run --release --bin repro -- all {flag} > {file}]");
     }
 }

@@ -220,11 +220,22 @@ impl ResultCache {
     }
 
     /// Stores `result` under `key`, creating the directory if needed.
-    /// Writes via a temp file + rename so a crashed run never leaves a
-    /// torn entry behind.
+    /// Writes via a temp file + atomic rename so a crashed run never
+    /// leaves a torn entry behind. The temp name is unique per writer
+    /// (pid + process-local counter): the server and a concurrent CLI
+    /// run may both store the same key into a shared `--cache-dir`, and
+    /// with a shared temp name the loser's rename would fail on a file
+    /// the winner already moved. Both writers produce identical bytes
+    /// for a given key, so last-rename-wins is correct.
     pub fn store(&self, key: u64, result: &RunResult) -> io::Result<()> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         fs::create_dir_all(&self.dir)?;
-        let tmp = self.dir.join(format!("{key:016x}.tmp"));
+        let tmp = self.dir.join(format!(
+            "{key:016x}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         fs::write(&tmp, encode_result(result))?;
         fs::rename(&tmp, self.path_for(key))
     }
@@ -303,6 +314,36 @@ mod tests {
             encode_result(&r).replacen(&format!("\"format\": {CACHE_FORMAT}"), "\"format\": 0", 1);
         fs::write(cache.path_for(key), stale).unwrap();
         assert!(cache.load(key).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_stores_of_one_key_all_succeed() {
+        let dir = std::env::temp_dir().join(format!("ndpb-cache-race-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::new(&dir);
+        let r = run_one("ll", DesignPoint::C, tiny_cfg(), Scale::Tiny);
+        let key = point_key("ll", "C", Scale::Tiny, &tiny_cfg());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..16 {
+                        cache.store(key, &r).expect("store under contention");
+                    }
+                });
+            }
+        });
+        let hit = cache.load(key).expect("entry readable after the race");
+        assert_eq!(hit.to_json(), r.to_json());
+        // No temp litter left behind, only the entry itself.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(
+            leftovers,
+            vec![std::ffi::OsString::from(format!("{key:016x}.json"))]
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -29,7 +29,7 @@
 use std::collections::VecDeque;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
 use ndpb_core::audit::AuditLevel;
@@ -80,6 +80,42 @@ impl SweepPoint {
     }
 }
 
+/// A claim on the result of one point handed to [`Sweeper::submit`].
+///
+/// Dropping the ticket abandons the result; the simulation still runs
+/// to completion (and still populates the cache).
+#[derive(Debug)]
+pub struct PointTicket {
+    rx: mpsc::Receiver<RunResult>,
+}
+
+impl PointTicket {
+    /// Blocks until the point's simulation finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool worker died (a simulation panicked) before
+    /// delivering the result.
+    pub fn wait(self) -> RunResult {
+        self.rx
+            .recv()
+            .expect("resident pool worker died before delivering its result")
+    }
+
+    /// Non-blocking probe: the result if it is already available.
+    pub fn try_wait(&self) -> Option<RunResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Shared state of the resident pool: a job queue plus the condvar
+/// workers park on while it is empty.
+#[derive(Debug, Default)]
+struct ResidentPool {
+    queue: Mutex<VecDeque<(SweepPoint, mpsc::Sender<RunResult>)>>,
+    ready: Condvar,
+}
+
 /// The sweep executor: worker count, optional cache, shared metrics.
 #[derive(Debug)]
 pub struct Sweeper {
@@ -88,6 +124,7 @@ pub struct Sweeper {
     audit: Option<AuditLevel>,
     metrics: SharedMetrics,
     sweeps_run: AtomicU64,
+    resident: OnceLock<Arc<ResidentPool>>,
 }
 
 impl Sweeper {
@@ -99,6 +136,7 @@ impl Sweeper {
             audit: None,
             metrics: SharedMetrics::new(),
             sweeps_run: AtomicU64::new(0),
+            resident: OnceLock::new(),
         }
     }
 
@@ -219,6 +257,100 @@ impl Sweeper {
             .into_iter()
             .map(|s| s.expect("sweep worker died before delivering its result"))
             .collect()
+    }
+
+    /// Probes the result cache for `point` without scheduling anything.
+    ///
+    /// The audit override is applied before the key is computed, exactly
+    /// as [`run`](Self::run) and [`submit`](Self::submit) do, so a probe
+    /// and a later submit of the same point agree on the key. A hit
+    /// counts into `sweep/points_total` and `sweep/cache_hits`; a miss
+    /// counts nothing (the caller is expected to `submit`, which does).
+    pub fn cached(&self, point: &SweepPoint) -> Option<RunResult> {
+        let cache = self.cache.as_ref()?;
+        let key = match self.audit {
+            Some(level) => {
+                let mut p = point.clone();
+                p.cfg.audit = level;
+                p.key()
+            }
+            None => point.key(),
+        };
+        let hit = cache.load(key)?;
+        let m = &self.metrics;
+        m.inc(m.register("sweep/points_total"));
+        m.inc(m.register("sweep/cache_hits"));
+        Some(hit)
+    }
+
+    /// Schedules one point on the engine's *resident* pool and returns
+    /// a ticket for its result.
+    ///
+    /// Unlike [`run`](Self::run) — which spawns scoped workers for the
+    /// duration of one batch — the resident pool's `jobs` workers are
+    /// detached daemon threads created on first submit and kept parked
+    /// on a condvar between jobs. That is the shape a long-running
+    /// server needs: callers submit from many request threads, results
+    /// fan back through per-ticket channels, and the pool never has to
+    /// be re-warmed. The cache (if configured) is *not* probed here —
+    /// callers that want the fast path probe [`cached`](Self::cached)
+    /// first — but completed simulations are stored to it.
+    pub fn submit(&self, mut point: SweepPoint) -> PointTicket {
+        if let Some(level) = self.audit {
+            point.cfg.audit = level;
+        }
+        let m = &self.metrics;
+        m.inc(m.register("sweep/points_total"));
+        m.inc(m.register("sweep/cache_misses"));
+        let pool = self.resident.get_or_init(|| self.spawn_resident_pool());
+        let (tx, rx) = mpsc::channel();
+        pool.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back((point, tx));
+        pool.ready.notify_one();
+        PointTicket { rx }
+    }
+
+    fn spawn_resident_pool(&self) -> Arc<ResidentPool> {
+        let pool = Arc::new(ResidentPool::default());
+        let sim_id = self.metrics.register("sweep/simulated");
+        for w in 0..self.jobs {
+            let worker_id = self
+                .metrics
+                .register(&format!("sweep/pool-worker-{w}/points"));
+            let pool = Arc::clone(&pool);
+            let metrics = self.metrics.clone();
+            let cache = self.cache.clone();
+            // Detached on purpose: the workers live for the rest of the
+            // process, parked when idle. Service shutdown drains by
+            // waiting on outstanding tickets, not by joining these.
+            thread::Builder::new()
+                .name(format!("sweep-pool-{w}"))
+                .spawn(move || loop {
+                    let (point, tx) = {
+                        let mut q = pool.queue.lock().unwrap_or_else(|e| e.into_inner());
+                        loop {
+                            match q.pop_front() {
+                                Some(job) => break job,
+                                None => q = pool.ready.wait(q).unwrap_or_else(|e| e.into_inner()),
+                            }
+                        }
+                    };
+                    let key = point.key();
+                    let result = point.simulate();
+                    if let Some(c) = &cache {
+                        // Best-effort, as in `run`: an unwritable cache
+                        // slows reruns down, it does not fail them.
+                        let _ = c.store(key, &result);
+                    }
+                    metrics.inc(sim_id);
+                    metrics.inc(worker_id);
+                    let _ = tx.send(result);
+                })
+                .expect("spawn resident pool worker");
+        }
+        pool
     }
 
     /// Formats a one-line summary of the engine's lifetime counters
@@ -400,6 +532,43 @@ mod tests {
         let sw = Sweeper::new(0);
         assert_eq!(sw.jobs(), 1);
         assert_eq!(sw.run(points()).len(), 6);
+    }
+
+    #[test]
+    fn submitted_points_match_batch_results() {
+        let sw = Sweeper::new(3);
+        let batch = fingerprint(&Sweeper::new(1).run(points()));
+        let tickets: Vec<_> = points().into_iter().map(|p| sw.submit(p)).collect();
+        let got: Vec<String> = tickets.into_iter().map(|t| t.wait().to_json()).collect();
+        assert_eq!(got, batch, "resident pool must reproduce batch output");
+        let report = sw.metrics().live_report();
+        assert_eq!(report.final_value("sweep/simulated"), Some(6));
+        assert_eq!(report.final_value("sweep/points_total"), Some(6));
+    }
+
+    #[test]
+    fn cached_probe_hits_after_submit_and_respects_audit_override() {
+        let dir = std::env::temp_dir().join(format!("ndpb-submit-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let sw = Sweeper::new(2).with_cache(&dir).with_audit(AuditLevel::Off);
+        let p = SweepPoint::new("ll", Column::Ndp(DesignPoint::C), tiny_cfg(), Scale::Tiny);
+        assert!(sw.cached(&p).is_none(), "cold cache misses");
+        let live = sw.submit(p.clone()).wait();
+        let hit = sw.cached(&p).expect("submit populated the cache");
+        assert_eq!(hit.to_json(), live.to_json());
+
+        // A different audit level keys differently, so it misses.
+        let audited = Sweeper::new(2)
+            .with_cache(&dir)
+            .with_audit(AuditLevel::Full);
+        assert!(audited.cached(&p).is_none());
+
+        let report = sw.metrics().live_report();
+        assert_eq!(report.final_value("sweep/cache_hits"), Some(1));
+        assert_eq!(report.final_value("sweep/points_total"), Some(2));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

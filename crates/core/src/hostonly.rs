@@ -97,7 +97,13 @@ impl HostOnly {
             cfg,
             host,
             app,
-            q: EventQueue::new(),
+            // Host completion times pile up multiple wheel revolutions
+            // ahead of the clock (per-access activation latency plus
+            // shared-channel queueing across 16 workers), which made the
+            // default 4096-tick horizon overflow-dominated — the 0.96x
+            // H regression vs the old heap. Start the calendar wide; the
+            // wheel still auto-tunes if contention pushes further out.
+            q: EventQueue::with_horizon(1 << 16),
             ready: VecDeque::new(),
             future: BTreeMap::new(),
             worker_free: vec![SimTime::ZERO; w],

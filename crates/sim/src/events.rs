@@ -51,6 +51,27 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue whose timer wheel's near tier initially
+    /// covers at least `horizon` ticks (see
+    /// [`TimerWheel::with_horizon`]). Use when the caller knows its
+    /// schedule is far-heavy — e.g. host-model completion times under
+    /// channel contention — to skip the auto-tuning warm-up. Pop order
+    /// is identical for any horizon.
+    pub fn with_horizon(horizon: u64) -> Self {
+        EventQueue {
+            wheel: TimerWheel::with_horizon(horizon),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current near-tier width of the backing wheel, in ticks.
+    #[inline]
+    pub fn horizon(&self) -> usize {
+        self.wheel.horizon()
+    }
+
     /// Current simulation time: the timestamp of the most recently popped
     /// event (zero before the first pop).
     #[inline]

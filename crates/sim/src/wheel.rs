@@ -7,44 +7,80 @@
 //! level for what is almost always a "schedule a few hundred ticks out"
 //! pattern. The wheel turns that common case into `O(1)`:
 //!
-//! * **Near tier** — a calendar of [`WHEEL_SLOTS`] per-tick FIFO buckets.
-//!   An event at absolute tick `t` with `t - now < WHEEL_SLOTS` lands in
-//!   bucket `t % WHEEL_SLOTS`. Because the live window is exactly
-//!   [`WHEEL_SLOTS`] ticks wide, a non-empty bucket always holds a single
-//!   tick's events, in insertion order — FIFO within the bucket *is* the
-//!   `(time, seq)` order. A two-level occupancy bitmap (one summary word
-//!   over 64 slot words) finds the next non-empty bucket with a handful of
-//!   bit operations instead of a scan.
+//! * **Near tier** — a calendar of per-tick FIFO buckets, one revolution
+//!   wide. An event at absolute tick `t` with `t - now < horizon` lands in
+//!   bucket `t % horizon`. Because the live window is exactly one
+//!   revolution wide, a non-empty bucket always holds a single tick's
+//!   events, in insertion order — FIFO within the bucket *is* the
+//!   `(time, seq)` order. A two-level occupancy bitmap (summary words over
+//!   slot words) finds the next non-empty bucket with a handful of bit
+//!   operations instead of a scan.
 //! * **Far tier** — a sorted overflow heap for events at or beyond the
 //!   horizon (periodic `I_state` timers, congested bus grants). Overflow
-//!   entries are never migrated into the wheel; [`TimerWheel::pop`]
-//!   compares the wheel front against the heap front by `(time, seq)` and
-//!   takes the smaller, so an old far-future event still pops before a
-//!   younger same-tick event that was scheduled directly into the wheel.
+//!   entries are never migrated into the wheel during steady state;
+//!   [`TimerWheel::pop`] compares the wheel front against the heap front
+//!   by `(time, seq)` and takes the smaller, so an old far-future event
+//!   still pops before a younger same-tick event that was scheduled
+//!   directly into the wheel.
+//!
+//! # Horizon configuration and auto-tuning
+//!
+//! The near-tier horizon defaults to [`WHEEL_SLOTS`] ticks, which covers
+//! every DRAM/bus latency of the NDP designs. Some schedules are
+//! *far-heavy* — the host-only baseline accumulates multi-revolution
+//! completion times under channel contention, pushing most inserts into
+//! the overflow heap and losing the wheel's O(1) advantage (the H-design
+//! regression noted after the wheel landed). Two mechanisms address this:
+//!
+//! * [`TimerWheel::with_horizon`] / [`EventQueue::with_horizon`] pick a
+//!   larger initial horizon when the caller knows its latency profile.
+//! * **Auto-tuning:** the wheel counts overflow inserts whose delta would
+//!   fit under [`MAX_WHEEL_SLOTS`]; once [`GROW_TRIGGER`] such inserts
+//!   accumulate, the horizon doubles (at least) to cover the largest of
+//!   them, re-bucketing pending near-tier events and pulling newly
+//!   capturable overflow entries into the wheel. Growth is bounded by
+//!   [`MAX_WHEEL_SLOTS`], so a stray far-future timer cannot balloon the
+//!   calendar.
+//!
+//! Re-tiering never reorders anything: pop order is defined purely by
+//! `(time, seq)`, independent of which tier an event happens to sit in,
+//! so results are byte-identical for any horizon (the golden suites pin
+//! this).
 //!
 //! The determinism contract is exactly the one the old `BinaryHeap`
 //! implementation had: events pop in strictly nondecreasing `(time, seq)`
 //! order, where `seq` is the global schedule order. `crates/sim/tests/`
 //! pins this against a reference heap model with randomized schedules.
+//!
+//! [`EventQueue`]: crate::EventQueue
+//! [`EventQueue::with_horizon`]: crate::EventQueue::with_horizon
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
-/// Number of per-tick buckets in the near tier. Events scheduled fewer
-/// than this many ticks ahead of the clock go to the wheel; everything
-/// else goes to the overflow heap.
+/// Default number of per-tick buckets in the near tier. Events scheduled
+/// fewer than this many ticks ahead of the clock go to the wheel;
+/// everything else goes to the overflow heap (until auto-tuning widens
+/// the window).
 ///
 /// 4096 ticks ≈ 1.7 µs covers every DRAM/bus latency and the Table I
 /// gather interval; only the coarse periodic timers (`I_state` = 12000
 /// ticks) and heavily congested bus grants overflow, and those are rare
-/// enough that heap cost on them is noise.
+/// enough in the NDP designs that heap cost on them is noise.
 pub const WHEEL_SLOTS: usize = 4096;
 
-const SLOT_MASK: u64 = WHEEL_SLOTS as u64 - 1;
-/// 64 slots per occupancy word.
-const WORDS: usize = WHEEL_SLOTS / 64;
+/// Upper bound on the auto-tuned horizon (2^17 ticks ≈ 55 µs). Bounds
+/// the calendar's memory: a far-future outlier beyond this never
+/// triggers growth.
+pub const MAX_WHEEL_SLOTS: usize = 1 << 17;
+
+/// Capturable overflow inserts tolerated before the horizon grows. Each
+/// pre-growth overflow insert costs one heap push — a few thousand of
+/// them are noise, while a persistent far-heavy schedule (millions of
+/// events) amortizes the one-off re-bucketing instantly.
+const GROW_TRIGGER: u64 = 2048;
 
 /// A two-tier calendar queue ordering `(time, seq, event)` triples by
 /// `(time, seq)`.
@@ -60,14 +96,23 @@ const WORDS: usize = WHEEL_SLOTS / 64;
 /// [`EventQueue`]: crate::EventQueue
 #[derive(Debug)]
 pub struct TimerWheel<E> {
+    /// Current near-tier width in ticks; always a power of two in
+    /// `[64, MAX_WHEEL_SLOTS]`.
+    slots: usize,
     buckets: Vec<Bucket<E>>,
     /// Bit `i % 64` of word `i / 64` set ⇔ bucket `i` is non-empty.
     words: Vec<u64>,
-    /// Bit `w` set ⇔ `words[w] != 0`.
-    summary: u64,
+    /// Bit `w % 64` of summary word `w / 64` set ⇔ `words[w] != 0`.
+    summary: Vec<u64>,
     /// Events currently in the near tier.
     wheel_len: usize,
     overflow: BinaryHeap<Overflow<E>>,
+    /// Overflow inserts since the last growth that a `MAX_WHEEL_SLOTS`
+    /// wheel would have captured, and the widest such delta.
+    capturable: u64,
+    capturable_max: u64,
+    /// Times the horizon grew (observability for tests/tuning).
+    grows: u32,
 }
 
 #[derive(Debug)]
@@ -110,20 +155,47 @@ impl<E> Default for TimerWheel<E> {
 }
 
 impl<E> TimerWheel<E> {
-    /// Creates an empty wheel. Buckets are lazily allocated: an untouched
-    /// bucket is an empty `VecDeque`, which holds no heap memory.
+    /// Creates an empty wheel with the default [`WHEEL_SLOTS`] horizon.
+    /// Buckets are lazily allocated: an untouched bucket is an empty
+    /// `VecDeque`, which holds no heap memory.
     pub fn new() -> Self {
+        Self::with_horizon(WHEEL_SLOTS as u64)
+    }
+
+    /// Creates an empty wheel whose near tier covers at least `horizon`
+    /// ticks (rounded up to a power of two, clamped to
+    /// `[64, MAX_WHEEL_SLOTS]`). Auto-tuning can still widen it later.
+    pub fn with_horizon(horizon: u64) -> Self {
+        let slots = horizon
+            .clamp(64, MAX_WHEEL_SLOTS as u64)
+            .next_power_of_two() as usize;
         TimerWheel {
-            buckets: (0..WHEEL_SLOTS)
+            slots,
+            buckets: (0..slots)
                 .map(|_| Bucket {
                     items: VecDeque::new(),
                 })
                 .collect(),
-            words: vec![0; WORDS],
-            summary: 0,
+            words: vec![0; slots / 64],
+            summary: vec![0; (slots / 64).div_ceil(64)],
             wheel_len: 0,
             overflow: BinaryHeap::new(),
+            capturable: 0,
+            capturable_max: 0,
+            grows: 0,
         }
+    }
+
+    /// Current near-tier width in ticks.
+    #[inline]
+    pub fn horizon(&self) -> usize {
+        self.slots
+    }
+
+    /// How many times auto-tuning widened the horizon.
+    #[inline]
+    pub fn grows(&self) -> u32 {
+        self.grows
     }
 
     /// Total pending events across both tiers.
@@ -138,24 +210,101 @@ impl<E> TimerWheel<E> {
         self.len() == 0
     }
 
+    #[inline]
+    fn slot_mask(&self) -> u64 {
+        self.slots as u64 - 1
+    }
+
+    /// Places an event that is known to fall inside the near window.
+    #[inline]
+    fn insert_near(&mut self, at: SimTime, seq: u64, event: E) {
+        let idx = (at.ticks() & self.slot_mask()) as usize;
+        let bucket = &mut self.buckets[idx];
+        // The live window is exactly one wheel revolution wide, so a
+        // live bucket holds a single tick.
+        debug_assert!(bucket.items.front().is_none_or(|&(t, _, _)| t == at));
+        bucket.items.push_back((at, seq, event));
+        self.words[idx >> 6] |= 1 << (idx & 63);
+        self.summary[idx >> 12] |= 1 << ((idx >> 6) & 63);
+        self.wheel_len += 1;
+    }
+
     /// Inserts `event` at `(at, seq)`. The caller guarantees `at >= now`
     /// and that `seq` is strictly greater than every previously inserted
     /// sequence number.
     #[inline]
     pub fn insert(&mut self, now: SimTime, at: SimTime, seq: u64, event: E) {
         debug_assert!(at >= now);
-        if at.ticks() - now.ticks() < WHEEL_SLOTS as u64 {
-            let idx = (at.ticks() & SLOT_MASK) as usize;
-            let bucket = &mut self.buckets[idx];
-            // The window [now, now + WHEEL_SLOTS) is exactly one wheel
-            // revolution wide, so a live bucket holds a single tick.
-            debug_assert!(bucket.items.front().is_none_or(|&(t, _, _)| t == at));
-            bucket.items.push_back((at, seq, event));
-            self.words[idx >> 6] |= 1 << (idx & 63);
-            self.summary |= 1 << (idx >> 6);
-            self.wheel_len += 1;
-        } else {
-            self.overflow.push(Overflow { at, seq, event });
+        let delta = at.ticks() - now.ticks();
+        if delta < self.slots as u64 {
+            self.insert_near(at, seq, event);
+            return;
+        }
+        if delta < MAX_WHEEL_SLOTS as u64 && self.slots < MAX_WHEEL_SLOTS {
+            self.capturable += 1;
+            self.capturable_max = self.capturable_max.max(delta);
+            if self.capturable >= GROW_TRIGGER {
+                let target = self.capturable_max + 1;
+                self.capturable = 0;
+                self.capturable_max = 0;
+                self.grow(now, target);
+                if delta < self.slots as u64 {
+                    self.insert_near(at, seq, event);
+                    return;
+                }
+            }
+        }
+        self.overflow.push(Overflow { at, seq, event });
+    }
+
+    /// Widens the near tier to cover at least `target` ticks,
+    /// re-bucketing pending near-tier events and pulling newly
+    /// capturable overflow entries in. Pop order is unaffected — it is
+    /// defined by `(time, seq)` regardless of tier.
+    fn grow(&mut self, now: SimTime, target: u64) {
+        let new_slots = target
+            .min(MAX_WHEEL_SLOTS as u64)
+            .next_power_of_two()
+            .clamp(self.slots as u64 * 2, MAX_WHEEL_SLOTS as u64) as usize;
+        if new_slots <= self.slots {
+            return;
+        }
+        let old_slots = self.slots;
+        let mut old_buckets = std::mem::replace(
+            &mut self.buckets,
+            (0..new_slots)
+                .map(|_| Bucket {
+                    items: VecDeque::new(),
+                })
+                .collect(),
+        );
+        self.slots = new_slots;
+        self.words = vec![0; new_slots / 64];
+        self.summary = vec![0; (new_slots / 64).div_ceil(64)];
+        self.wheel_len = 0;
+        self.grows += 1;
+        // Collect everything that belongs in the widened window: the old
+        // near tier plus overflow entries now inside it (the heap front
+        // carries the minimum time, so the first non-capturable entry
+        // means the rest are non-capturable too). An overflow entry can
+        // share a tick with near-tier events while carrying a *smaller*
+        // seq — see `overflow_interleaves_with_wheel_by_seq` — so the
+        // merged set is sorted by (time, seq) before re-bucketing to
+        // keep FIFO-within-bucket equal to seq order.
+        let mut pending: Vec<(SimTime, u64, E)> = Vec::new();
+        for bucket in old_buckets.iter_mut().take(old_slots) {
+            pending.extend(bucket.items.drain(..));
+        }
+        while let Some(o) = self.overflow.peek() {
+            if o.at.ticks() - now.ticks() >= new_slots as u64 {
+                break;
+            }
+            let o = self.overflow.pop().expect("peeked entry vanished");
+            pending.push((o.at, o.seq, o.event));
+        }
+        pending.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        for (at, seq, event) in pending {
+            self.insert_near(at, seq, event);
         }
     }
 
@@ -181,7 +330,7 @@ impl<E> TimerWheel<E> {
         if bucket.items.is_empty() {
             self.words[idx >> 6] &= !(1 << (idx & 63));
             if self.words[idx >> 6] == 0 {
-                self.summary &= !(1 << (idx >> 6));
+                self.summary[idx >> 12] &= !(1 << ((idx >> 6) & 63));
             }
         }
         Some(entry)
@@ -204,7 +353,7 @@ impl<E> TimerWheel<E> {
         if self.wheel_len == 0 {
             return None;
         }
-        let idx = self.next_occupied((now.ticks() & SLOT_MASK) as usize);
+        let idx = self.next_occupied((now.ticks() & self.slot_mask()) as usize);
         let &(at, seq, _) = self.buckets[idx]
             .items
             .front()
@@ -212,12 +361,32 @@ impl<E> TimerWheel<E> {
         Some((at, seq, idx))
     }
 
+    /// First word index `>= w` whose occupancy word is non-empty, if any
+    /// (no wrap-around).
+    #[inline]
+    fn next_word_at_or_after(&self, w: usize) -> Option<usize> {
+        let sw = w >> 6;
+        if sw >= self.summary.len() {
+            return None;
+        }
+        let first = self.summary[sw] & (!0u64 << (w & 63));
+        if first != 0 {
+            return Some((sw << 6) | first.trailing_zeros() as usize);
+        }
+        for (i, &s) in self.summary.iter().enumerate().skip(sw + 1) {
+            if s != 0 {
+                return Some((i << 6) | s.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
     /// Index of the first non-empty bucket at or after `start` in circular
     /// slot order. Requires `wheel_len > 0`.
     ///
-    /// Circular order from `now % WHEEL_SLOTS` is tick order: every
-    /// pending near-tier event lies in `[now, now + WHEEL_SLOTS)`, and
-    /// that window maps one-to-one onto the slots.
+    /// Circular order from `now % slots` is tick order: every pending
+    /// near-tier event lies in `[now, now + slots)`, and that window maps
+    /// one-to-one onto the slots.
     #[inline]
     fn next_occupied(&self, start: usize) -> usize {
         debug_assert!(self.wheel_len > 0);
@@ -229,18 +398,14 @@ impl<E> TimerWheel<E> {
             return (sw << 6) | hi.trailing_zeros() as usize;
         }
         // Whole words strictly after the start word.
-        if sw + 1 < WORDS {
-            let later = self.summary & (!0u64 << (sw + 1));
-            if later != 0 {
-                let w = later.trailing_zeros() as usize;
+        if let Some(w) = self.next_word_at_or_after(sw + 1) {
+            return (w << 6) | self.words[w].trailing_zeros() as usize;
+        }
+        // Wrapped: whole words before (or at) the start word…
+        if let Some(w) = self.next_word_at_or_after(0) {
+            if w != sw {
                 return (w << 6) | self.words[w].trailing_zeros() as usize;
             }
-        }
-        // Wrapped: whole words strictly before the start word…
-        let earlier = self.summary & !(!0u64 << sw);
-        if earlier != 0 {
-            let w = earlier.trailing_zeros() as usize;
-            return (w << 6) | self.words[w].trailing_zeros() as usize;
         }
         // …then the low bits of the start word itself.
         let lo = self.words[sw] & !(!0u64 << sb);
@@ -308,12 +473,103 @@ mod tests {
     fn occupancy_bitmap_survives_sparse_times() {
         let mut w = TimerWheel::new();
         // One event per occupancy word, popped in order.
-        for i in 0..WORDS as u64 {
+        for i in 0..(WHEEL_SLOTS / 64) as u64 {
             w.insert(SimTime::ZERO, SimTime::from_ticks(i * 64 + 7), i, i);
         }
         let order: Vec<u64> = drain(&mut w).into_iter().map(|(_, _, e)| e).collect();
-        assert_eq!(order, (0..WORDS as u64).collect::<Vec<_>>());
+        assert_eq!(order, (0..(WHEEL_SLOTS / 64) as u64).collect::<Vec<_>>());
         assert!(w.is_empty());
-        assert_eq!(w.summary, 0);
+        assert!(w.summary.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn horizon_is_configurable_and_clamped() {
+        let w: TimerWheel<()> = TimerWheel::with_horizon(10_000);
+        assert_eq!(w.horizon(), 16_384, "rounded up to a power of two");
+        let w: TimerWheel<()> = TimerWheel::with_horizon(1);
+        assert_eq!(w.horizon(), 64, "clamped below");
+        let w: TimerWheel<()> = TimerWheel::with_horizon(u64::MAX);
+        assert_eq!(w.horizon(), MAX_WHEEL_SLOTS, "clamped above");
+    }
+
+    #[test]
+    fn wide_horizon_keeps_midrange_events_near_tier() {
+        let mut w = TimerWheel::with_horizon(1 << 16);
+        w.insert(SimTime::ZERO, SimTime::from_ticks(40_000), 0, "mid");
+        assert_eq!(w.overflow.len(), 0, "inside the configured horizon");
+        let (t, _, e) = w.pop(SimTime::ZERO).unwrap();
+        assert_eq!((t, e), (SimTime::from_ticks(40_000), "mid"));
+    }
+
+    #[test]
+    fn auto_growth_captures_far_heavy_schedules_in_order() {
+        // Far-heavy, H-style: every event lands a few revolutions out.
+        let mut w = TimerWheel::new();
+        let mut now = SimTime::ZERO;
+        let mut seq = 0u64;
+        let mut popped = Vec::new();
+        for round in 0..3 * GROW_TRIGGER {
+            let at = SimTime::from_ticks(now.ticks() + 3 * WHEEL_SLOTS as u64 + round % 97);
+            w.insert(now, at, seq, seq);
+            seq += 1;
+            if round % 2 == 0 {
+                let (t, s, e) = w.pop(now).unwrap();
+                now = t;
+                popped.push((t, s, e));
+            }
+        }
+        while let Some((t, s, e)) = w.pop(now) {
+            now = t;
+            popped.push((t, s, e));
+        }
+        assert!(w.grows() > 0, "far-heavy schedule must trigger growth");
+        assert!(w.horizon() > WHEEL_SLOTS);
+        // The pop stream respects the (time, seq) contract and is
+        // complete, growth or not.
+        assert!(popped
+            .windows(2)
+            .all(|p| (p[0].0, p[0].1) < (p[1].0, p[1].1)));
+        let mut events: Vec<u64> = popped.iter().map(|&(_, _, e)| e).collect();
+        events.sort_unstable();
+        assert_eq!(events, (0..seq).collect::<Vec<_>>());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn growth_merges_same_tick_overflow_before_younger_near_events() {
+        let mut w = TimerWheel::new();
+        // seq 0 lands far-future (overflow tier) at tick t…
+        let t = SimTime::from_ticks(WHEEL_SLOTS as u64 + 100);
+        w.insert(SimTime::ZERO, t, 0, "old-overflow");
+        // …then the clock advances until t is near-tier and seq 1 is
+        // scheduled directly into the wheel at the same tick.
+        let now = SimTime::from_ticks(101);
+        w.insert(now, t, 1, "young-near");
+        // A growth at this point merges both tiers into one bucket; the
+        // overflow entry must keep its earlier-seq position.
+        w.grow(now, 4 * WHEEL_SLOTS as u64);
+        assert_eq!(w.overflow.len(), 0, "entry migrated into the wheel");
+        let (t1, s1, e1) = w.pop(now).unwrap();
+        let (t2, s2, e2) = w.pop(t).unwrap();
+        assert_eq!((t1, s1, e1), (t, 0, "old-overflow"));
+        assert_eq!((t2, s2, e2), (t, 1, "young-near"));
+    }
+
+    #[test]
+    fn growth_is_capped_and_ignores_uncapturable_outliers() {
+        let mut w = TimerWheel::new();
+        for seq in 0..3 * GROW_TRIGGER {
+            // Far beyond MAX_WHEEL_SLOTS: never worth growing for.
+            w.insert(
+                SimTime::ZERO,
+                SimTime::from_ticks(10 * MAX_WHEEL_SLOTS as u64 + seq),
+                seq,
+                seq,
+            );
+        }
+        assert_eq!(w.grows(), 0);
+        assert_eq!(w.horizon(), WHEEL_SLOTS);
+        let order: Vec<u64> = drain(&mut w).into_iter().map(|(_, _, e)| e).collect();
+        assert_eq!(order, (0..3 * GROW_TRIGGER).collect::<Vec<_>>());
     }
 }

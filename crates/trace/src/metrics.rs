@@ -174,6 +174,27 @@ impl SharedMetrics {
             snapshots: g.snapshots.clone(),
         }
     }
+
+    /// Like [`report`](Self::report), but with the *current* value
+    /// table appended as a trailing pseudo-snapshot labelled `live`.
+    /// The live registry is not mutated — repeated calls do not grow
+    /// its snapshot list the way calling [`snapshot`](Self::snapshot)
+    /// before every report would. This is what a long-running service's
+    /// metrics endpoint wants: `final_value` on the returned report
+    /// always reflects the instant of the call.
+    pub fn live_report(&self) -> MetricsReport {
+        let g = self.lock();
+        let mut snapshots = g.snapshots.clone();
+        snapshots.push(MetricsSnapshot {
+            label: "live".to_string(),
+            at_ticks: 0,
+            values: g.values.clone(),
+        });
+        MetricsReport {
+            names: g.names.clone(),
+            snapshots,
+        }
+    }
 }
 
 /// Frozen output of a [`MetricsRegistry`]: the metric names plus every
@@ -343,5 +364,23 @@ mod tests {
         shared.add(hits, 1);
         assert_eq!(shared.get(hits), 401);
         assert_eq!(r.final_value("sweep/cache_hits"), Some(400));
+    }
+
+    #[test]
+    fn live_report_reflects_now_without_mutating_the_registry() {
+        let shared = SharedMetrics::new();
+        let hits = shared.register("serve/cache_hits");
+        shared.add(hits, 3);
+        let live = shared.live_report();
+        assert_eq!(live.final_value("serve/cache_hits"), Some(3));
+        assert_eq!(live.snapshots.last().unwrap().label, "live");
+
+        // No snapshot was recorded; a plain report is still empty, and
+        // a second live report sees the newer value with the same shape.
+        assert!(shared.report().snapshots.is_empty());
+        shared.inc(hits);
+        let again = shared.live_report();
+        assert_eq!(again.final_value("serve/cache_hits"), Some(4));
+        assert_eq!(again.snapshots.len(), 1);
     }
 }
