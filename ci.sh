@@ -41,6 +41,18 @@ cmp "$SMOKE_DIR/j1.txt" "$SMOKE_DIR/j2.txt"
 cmp "$SMOKE_DIR/j1.txt" "$SMOKE_DIR/warm.txt"
 grep -q "8 cache hits, 0 simulated" "$SMOKE_DIR/warm.err"
 
+echo "== repro fig10 smoke: --shards determinism and cache compatibility =="
+# Sharding one run across per-shard timer wheels (DESIGN.md §9) is
+# observationally invisible: a --shards 2 run must print byte-identical
+# output, and — because shard count is excluded from the config
+# fingerprint — it must be served entirely from the cache the serial
+# run above populated (gating).
+"$REPRO" "${SMOKE_ARGS[@]}" --shards 2 --no-cache > "$SMOKE_DIR/s2.txt" 2>/dev/null
+cmp "$SMOKE_DIR/j1.txt" "$SMOKE_DIR/s2.txt"
+"$REPRO" "${SMOKE_ARGS[@]}" --shards 2 --cache-dir "$SMOKE_DIR/cache" > "$SMOKE_DIR/s2warm.txt" 2> "$SMOKE_DIR/s2warm.err"
+cmp "$SMOKE_DIR/j1.txt" "$SMOKE_DIR/s2warm.txt"
+grep -q "8 cache hits, 0 simulated" "$SMOKE_DIR/s2warm.err"
+
 echo "== repro audit smoke: conservation laws under --audit =="
 # A fully-audited sweep (every epoch checks message conservation,
 # toArrive balance, dataBorrowed inclusivity, ledger totals, bus
@@ -60,11 +72,16 @@ echo "== repro bench smoke: event-engine throughput (non-gating timings) =="
 # checked is that the bench harness runs, its repetitions agree on the
 # event count (it asserts determinism internally), and the JSON report
 # is well-formed with all six design columns present.
-"$REPRO" bench --quick > "$SMOKE_DIR/bench.txt" 2>&1
+"$REPRO" bench --quick --shards 2 > "$SMOKE_DIR/bench.txt" 2>&1
 test -s BENCH_repro.json
 for d in C B W O H R; do
     grep -q "\"design\":\"$d\"" BENCH_repro.json
 done
+# The shards scaling array must be present and well-formed (the harness
+# itself gates event-count equality across shard counts; the speedup
+# value is machine-dependent and not gated here).
+grep -q '"shards":\[' BENCH_repro.json
+grep -q '"speedup_over_serial":' BENCH_repro.json
 if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool BENCH_repro.json > /dev/null
 fi

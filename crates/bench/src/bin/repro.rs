@@ -56,6 +56,11 @@ struct Opts {
     trace: Option<String>,
     metrics_json: Option<String>,
     jobs: Option<usize>,
+    /// Per-run shard count (`--shards N`): partitions each single run's
+    /// event queue across N per-rank timer wheels. Results are
+    /// byte-identical for any value; `bench` also measures the
+    /// end-to-end speedup it buys.
+    shards: Option<usize>,
     cache_dir: Option<String>,
     no_cache: bool,
     audit: bool,
@@ -81,6 +86,7 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut trace = None;
     let mut metrics_json = None;
     let mut jobs = None;
+    let mut shards = None;
     let mut cache_dir = None;
     let mut no_cache = false;
     let mut audit = false;
@@ -105,6 +111,13 @@ fn parse_opts(args: &[String]) -> Opts {
                 jobs = it.next().and_then(|v| v.parse().ok());
                 if jobs.is_none() {
                     eprintln!("--jobs expects a worker count, e.g. --jobs 8");
+                    std::process::exit(2);
+                }
+            }
+            "--shards" => {
+                shards = it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
+                if shards.is_none() {
+                    eprintln!("--shards expects a positive shard count, e.g. --shards 4");
                     std::process::exit(2);
                 }
             }
@@ -157,6 +170,7 @@ fn parse_opts(args: &[String]) -> Opts {
         trace,
         metrics_json,
         jobs,
+        shards,
         cache_dir,
         no_cache,
         audit,
@@ -227,6 +241,11 @@ fn configure_sweep(o: &Opts) {
         // Conservation audit at every epoch boundary; any violated
         // invariant aborts the run with the full violation list.
         sweeper = sweeper.with_audit(AuditLevel::Full);
+    }
+    if let Some(n) = o.shards {
+        // Observationally invisible (and excluded from cache keys);
+        // shards each run's queue and construction across n wheels.
+        sweeper = sweeper.with_shards(n);
     }
     ndpb_bench::sweep::configure(sweeper);
 }
@@ -886,8 +905,63 @@ fn bench_engine(o: &Opts) {
         "{:<8}{:>12}{:>14.4}{:>16.0}",
         "total", total_events, total_median, total_eps
     );
+    // --shards N: end-to-end scaling section. The serial (shards=1)
+    // point reuses the per-rep totals already measured above; the
+    // sharded point reruns the same sweep with every run's queue and
+    // construction split across N shards. Event counts must not move —
+    // shard count is observationally invisible — so any drift aborts.
+    let mut shard_rows: Vec<String> = Vec::new();
+    if let Some(n) = o.shards.filter(|&n| n > 1) {
+        let serial_totals: Vec<f64> = (0..reps as usize)
+            .map(|rep| walls.iter().map(|w| w[rep]).sum())
+            .collect();
+        let serial_med = ndpb_bench::timing::median(&serial_totals);
+        let mut sharded_totals: Vec<f64> = Vec::new();
+        for _ in 0..reps {
+            let start = std::time::Instant::now();
+            let mut ev = 0u64;
+            for col in &cols {
+                for app in &apps {
+                    let mut cfg = SystemConfig::table1();
+                    cfg.shards = n;
+                    let r = match col {
+                        Column::Ndp(d) => ndpb_bench::run_one(app, *d, cfg, scale),
+                        Column::Host => ndpb_bench::run_host(app, cfg, scale),
+                    };
+                    ev += r.events;
+                }
+            }
+            assert_eq!(
+                ev, total_events,
+                "event count drifted at shards={n}: sharding must be invisible"
+            );
+            sharded_totals.push(start.elapsed().as_secs_f64());
+        }
+        let sharded_med = ndpb_bench::timing::median(&sharded_totals);
+        println!(
+            "\n{:<8}{:>14}{:>16}{:>10}",
+            "shards", "median s", "events/sec", "speedup"
+        );
+        for (shards, med) in [(1usize, serial_med), (n, sharded_med)] {
+            let eps = if med > 0.0 {
+                total_events as f64 / med
+            } else {
+                0.0
+            };
+            let speedup = if med > 0.0 { serial_med / med } else { 0.0 };
+            println!("{shards:<8}{med:>14.4}{eps:>16.0}{speedup:>9.2}x");
+            shard_rows.push(format!(
+                "{{\"shards\":{shards},\"median_wall_seconds\":{med:.6},\"events_per_sec\":{eps:.1},\"speedup_over_serial\":{speedup:.3}}}"
+            ));
+        }
+    }
+    let shards_json = if shard_rows.is_empty() {
+        String::new()
+    } else {
+        format!("\"shards\":[\n{}\n],", shard_rows.join(",\n"))
+    };
     let body = format!(
-        "{{\"bench\":\"fig10\",\"scale\":\"{:?}\",\"reps\":{},\"apps\":[{}],\"designs\":[\n{}\n],\"total_events\":{},\"total_median_wall_seconds\":{:.6},\"total_events_per_sec\":{:.1}}}\n",
+        "{{\"bench\":\"fig10\",\"scale\":\"{:?}\",\"reps\":{},\"apps\":[{}],\"designs\":[\n{}\n],{}\"total_events\":{},\"total_median_wall_seconds\":{:.6},\"total_events_per_sec\":{:.1}}}\n",
         scale,
         reps,
         apps.iter()
@@ -895,6 +969,7 @@ fn bench_engine(o: &Opts) {
             .collect::<Vec<_>>()
             .join(","),
         rows.join(",\n"),
+        shards_json,
         total_events,
         total_median,
         total_eps
@@ -1116,7 +1191,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown subcommand {other:?}");
-            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|audit|bench|serve|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--jobs N] [--cache-dir path] [--no-cache] [--audit] [--json path] [--trace path] [--metrics-json path] [--reps N] [--quick] [--port N] [--max-queue N] [--max-points N]");
+            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|audit|bench|serve|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--jobs N] [--cache-dir path] [--no-cache] [--audit] [--json path] [--trace path] [--metrics-json path] [--reps N] [--quick] [--shards N] [--port N] [--max-queue N] [--max-points N]");
             std::process::exit(2);
         }
     }

@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use ndpb_dram::{Bus, EnergyBreakdown};
 use ndpb_sim::stats::BusyTime;
-use ndpb_sim::{EventQueue, SimTime, TICKS_PER_CORE_CYCLE};
+use ndpb_sim::{ShardedEventQueue, SimTime, TICKS_PER_CORE_CYCLE};
 use ndpb_tasks::{Application, ExecCtx, Task};
 
 use crate::config::SystemConfig;
@@ -67,7 +67,10 @@ pub struct HostOnly {
     cfg: SystemConfig,
     host: HostOnlyConfig,
     app: Box<dyn Application>,
-    q: EventQueue<Done>,
+    /// Completion queue, sharded by worker id (`cfg.shards` wheels,
+    /// capped at the worker count). Exact-merge pop order keeps results
+    /// byte-identical for every shard count, like `System`.
+    q: ShardedEventQueue<Done>,
     ready: VecDeque<Task>,
     future: BTreeMap<u32, Vec<Task>>,
     worker_free: Vec<SimTime>,
@@ -93,6 +96,7 @@ impl HostOnly {
             .map(|_| Bus::new(cfg.geometry.channel_dq_bits()))
             .collect();
         let w = host.workers;
+        let shards = cfg.shards.clamp(1, w.max(1));
         HostOnly {
             cfg,
             host,
@@ -103,7 +107,7 @@ impl HostOnly {
             // default 4096-tick horizon overflow-dominated — the 0.96x
             // H regression vs the old heap. Start the calendar wide; the
             // wheel still auto-tunes if contention pushes further out.
-            q: EventQueue::with_horizon(1 << 16),
+            q: ShardedEventQueue::with_horizon(shards, 1 << 16),
             ready: VecDeque::new(),
             future: BTreeMap::new(),
             worker_free: vec![SimTime::ZERO; w],
@@ -165,6 +169,7 @@ impl HostOnly {
         }
         self.q.schedule(
             t,
+            w % self.q.shards(),
             Done {
                 worker: w as u32,
                 task,

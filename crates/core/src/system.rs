@@ -13,7 +13,7 @@ use ndpb_dram::{AddressMap, BlockAddr, Bus, EnergyBreakdown, UnitId};
 use ndpb_proto::message::DataMessage;
 use ndpb_proto::Message;
 use ndpb_sim::stats::FinishTimes;
-use ndpb_sim::{EventQueue, SimRng, SimTime, TICKS_PER_CORE_CYCLE};
+use ndpb_sim::{ShardedEventQueue, SimRng, SimTime, TICKS_PER_CORE_CYCLE};
 use ndpb_tasks::{Application, ExecCtx, Task, Timestamp};
 use ndpb_trace::{ComponentId, MetricId, MetricsRegistry, TraceEvent, TraceRecord, TraceSink};
 
@@ -66,7 +66,17 @@ pub struct System {
     lb: LbPolicy,
     map: AddressMap,
     app: Box<dyn Application>,
-    q: EventQueue<Ev>,
+    /// The event queue, partitioned into `cfg.shards` per-rank-affinity
+    /// timer wheels. Pop order — and therefore every result — is
+    /// byte-identical to a single queue for any shard count (the
+    /// sharded queue's exact-merge contract); events are routed to
+    /// shards by [`System::shard_of`].
+    q: ShardedEventQueue<Ev>,
+    /// Unit id → shard, precomputed so the per-event affinity lookup on
+    /// the schedule hot path is one indexed load instead of divisions.
+    unit_shard: Vec<u32>,
+    /// Rank id → shard (same reasoning).
+    rank_shard: Vec<u32>,
     units: Vec<NdpUnit>,
     bridges: Vec<RankBridge>,
     host: HostBridge,
@@ -350,33 +360,62 @@ impl System {
     /// Panics if the configuration is invalid (see
     /// [`SystemConfig::validate`]).
     pub fn new(cfg: SystemConfig, design: DesignPoint, app: Box<dyn Application>) -> Self {
+        Self::with_app_factory(cfg, design, move || app)
+    }
+
+    /// Builds a system, calling `make_app` for the application.
+    ///
+    /// With `cfg.shards > 1`, construction itself is sharded: the
+    /// application is built on its own thread while the NDP units are
+    /// built in per-shard chunks in parallel. The RNG streams each
+    /// component receives are forked serially up front in the exact
+    /// order the serial constructor always used (forking mutates the
+    /// parent), so the built system — and every result — is
+    /// byte-identical to `shards = 1`; only the wall-clock cost of
+    /// standing up a 512-unit system changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SystemConfig::validate`]).
+    pub fn with_app_factory<F>(cfg: SystemConfig, design: DesignPoint, make_app: F) -> Self
+    where
+        F: FnOnce() -> Box<dyn Application> + Send,
+    {
         cfg.validate();
+        // More shards than ranks would only add empty wheels to every
+        // pop's head scan.
+        let shards = cfg.shards.clamp(1, cfg.geometry.total_ranks() as usize);
         let mut rng = SimRng::new(cfg.seed);
         let map = AddressMap::new(&cfg.geometry, cfg.g_xfer, cfg.timing.row_bytes);
-        let units = cfg
+        let unit_rngs: Vec<(UnitId, SimRng)> = cfg
             .geometry
             .all_units()
-            .map(|id| {
-                let r = rng.fork(id.0 as u64);
-                NdpUnit::new(id, &cfg, r)
-            })
+            .map(|id| (id, rng.fork(id.0 as u64)))
             .collect();
-        let bridges = (0..cfg.geometry.total_ranks())
-            .map(|r| {
-                let rr = rng.fork(1_000_000 + r as u64);
-                RankBridge::new(
-                    ndpb_dram::RankId(r),
-                    cfg.geometry.units_per_rank() as usize,
-                    &cfg,
-                    rr,
-                )
-            })
+        let bridge_rngs: Vec<SimRng> = (0..cfg.geometry.total_ranks())
+            .map(|r| rng.fork(1_000_000 + r as u64))
             .collect();
-        let host = HostBridge::new(
-            cfg.geometry.total_ranks() as usize,
-            &cfg,
-            rng.fork(2_000_000),
-        );
+        let host_rng = rng.fork(2_000_000);
+        // Construction fan-out is bounded by the cores actually
+        // available: on a single-core host, extra builder threads would
+        // only add spawn and context-switch cost (results are identical
+        // either way — the RNG streams above are already forked).
+        let builders =
+            shards.min(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
+        let (units, bridges, app) = if builders > 1 {
+            Self::build_parallel(&cfg, builders, unit_rngs, bridge_rngs, make_app)
+        } else {
+            (
+                unit_rngs
+                    .into_iter()
+                    .map(|(id, r)| NdpUnit::new(id, &cfg, r))
+                    .collect(),
+                Self::build_bridges(&cfg, bridge_rngs),
+                make_app(),
+            )
+        };
+        let host = HostBridge::new(cfg.geometry.total_ranks() as usize, &cfg, host_rng);
         let rank_bus = (0..cfg.geometry.total_ranks())
             .map(|_| Bus::new(cfg.geometry.intra_rank_data_bits()))
             .collect();
@@ -390,6 +429,15 @@ impl System {
             None => Vec::new(),
         };
         let link_scheduled = vec![false; cfg.geometry.total_ranks() as usize];
+        let upr = cfg.geometry.units_per_rank();
+        let rank_shard: Vec<u32> = (0..cfg.geometry.total_ranks())
+            .map(|r| r % shards as u32)
+            .collect();
+        let unit_shard: Vec<u32> = cfg
+            .geometry
+            .all_units()
+            .map(|id| rank_shard[(id.0 / upr) as usize])
+            .collect();
         let traced_block = std::env::var_os("NDPB_TRACE_BLOCK")
             .and_then(|v| v.to_string_lossy().parse::<u64>().ok());
         let mut metrics = MetricsRegistry::new();
@@ -404,7 +452,9 @@ impl System {
             design,
             map,
             app,
-            q: EventQueue::new(),
+            q: ShardedEventQueue::new(shards),
+            unit_shard,
+            rank_shard,
             units,
             bridges,
             host,
@@ -428,6 +478,96 @@ impl System {
         }
     }
 
+    /// Builds the rank bridges from pre-forked RNG streams (order and
+    /// salts fixed by [`Self::with_app_factory`]).
+    fn build_bridges(cfg: &SystemConfig, bridge_rngs: Vec<SimRng>) -> Vec<RankBridge> {
+        bridge_rngs
+            .into_iter()
+            .enumerate()
+            .map(|(r, rr)| {
+                RankBridge::new(
+                    ndpb_dram::RankId(r as u32),
+                    cfg.geometry.units_per_rank() as usize,
+                    cfg,
+                    rr,
+                )
+            })
+            .collect()
+    }
+
+    /// Parallel construction path (`builders > 1`): the application
+    /// factory runs on one scoped thread while the units are built in
+    /// `builders` order-preserving chunks on others; the (few) bridges
+    /// are built inline. Determinism is carried entirely by the
+    /// pre-forked RNG streams — each chunk consumes exactly the streams
+    /// the serial path would have handed the same units.
+    fn build_parallel<F>(
+        cfg: &SystemConfig,
+        builders: usize,
+        unit_rngs: Vec<(UnitId, SimRng)>,
+        bridge_rngs: Vec<SimRng>,
+        make_app: F,
+    ) -> (Vec<NdpUnit>, Vec<RankBridge>, Box<dyn Application>)
+    where
+        F: FnOnce() -> Box<dyn Application> + Send,
+    {
+        let total = unit_rngs.len();
+        let chunk = total.div_ceil(builders).max(1);
+        std::thread::scope(|s| {
+            let app_handle = s.spawn(make_app);
+            let mut remaining = unit_rngs;
+            let mut unit_handles = Vec::with_capacity(builders);
+            while !remaining.is_empty() {
+                let tail = remaining.split_off(chunk.min(remaining.len()));
+                let batch = std::mem::replace(&mut remaining, tail);
+                unit_handles.push(s.spawn(move || {
+                    batch
+                        .into_iter()
+                        .map(|(id, r)| NdpUnit::new(id, cfg, r))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            let bridges = Self::build_bridges(cfg, bridge_rngs);
+            let mut units = Vec::with_capacity(total);
+            for h in unit_handles {
+                units.extend(h.join().expect("unit construction panicked"));
+            }
+            let app = app_handle
+                .join()
+                .expect("application construction panicked");
+            (units, bridges, app)
+        })
+    }
+
+    /// Shard affinity of an event: the rank whose state its handler
+    /// touches, modulo the shard count. Host-level events pin to shard
+    /// 0. Affinity only decides which wheel holds the event — pop order
+    /// is globally merged — so this is a locality knob, never a
+    /// correctness one.
+    #[inline]
+    fn shard_of(&self, ev: &Ev) -> usize {
+        if self.q.shards() == 1 {
+            return 0;
+        }
+        match *ev {
+            Ev::CoreWake(u) | Ev::TaskDone(u, ..) | Ev::Deliver(u, _) => {
+                self.unit_shard[u as usize] as usize
+            }
+            Ev::RankState(r) | Ev::RankRound(r) | Ev::LinkRound(r) | Ev::LinkDeliver(r, _) => {
+                self.rank_shard[r as usize] as usize
+            }
+            Ev::HostState | Ev::HostRound => 0,
+        }
+    }
+
+    /// Schedules `ev` at `at` on its affinity shard (see
+    /// [`Self::shard_of`]).
+    #[inline]
+    fn sched(&mut self, at: SimTime, ev: Ev) {
+        let shard = self.shard_of(&ev);
+        self.q.schedule(at, shard, ev);
+    }
+
     /// Charges communication-DRAM traffic to the system total and the
     /// matching per-cause ledger row (the audit checks they stay equal).
     fn charge_comm(&mut self, cause: CommCause, bytes: u64) {
@@ -447,7 +587,7 @@ impl System {
         if self.audit.enabled {
             self.audit.note_scheduled(&msg);
         }
-        self.q.schedule(at, Ev::Deliver(u as u32, msg));
+        self.sched(at, Ev::Deliver(u as u32, msg));
     }
 
     /// Schedules a DIMM-Link delivery to rank `r` (see
@@ -456,7 +596,7 @@ impl System {
         if self.audit.enabled {
             self.audit.note_scheduled(&msg);
         }
-        self.q.schedule(at, Ev::LinkDeliver(r as u32, msg));
+        self.sched(at, Ev::LinkDeliver(r as u32, msg));
     }
 
     /// Attaches a trace sink; events recorded during [`run`](Self::run)
@@ -484,10 +624,10 @@ impl System {
         for r in 0..self.bridges.len() {
             if self.comm == CommPath::Bridges {
                 self.bridges[r].state_scheduled = true;
-                self.q.schedule(self.cfg.i_state(), Ev::RankState(r as u32));
+                self.sched(self.cfg.i_state(), Ev::RankState(r as u32));
             }
         }
-        self.q.schedule(self.cfg.i_state(), Ev::HostState);
+        self.sched(self.cfg.i_state(), Ev::HostState);
 
         let debug = std::env::var_os("NDPB_DEBUG").is_some();
         while let Some((_, ev)) = self.q.pop() {
@@ -611,7 +751,7 @@ impl System {
         }
         unit.wake_scheduled = true;
         let at = at.max(self.q.now());
-        self.q.schedule(at, Ev::CoreWake(u as u32));
+        self.sched(at, Ev::CoreWake(u as u32));
     }
 
     // ---- core execution ---------------------------------------------------
@@ -699,7 +839,7 @@ impl System {
         for c in &children {
             self.epochs.spawned(c.ts);
         }
-        self.q.schedule(t, Ev::TaskDone(u as u32, task, children));
+        self.sched(t, Ev::TaskDone(u as u32, task, children));
     }
 
     fn on_task_done(&mut self, u: usize, task: Task, mut children: Vec<Task>) {
@@ -1107,7 +1247,7 @@ impl System {
             }
         };
         self.bridges[r].round_scheduled = true;
-        self.q.schedule(at, Ev::RankRound(r as u32));
+        self.sched(at, Ev::RankRound(r as u32));
     }
 
     fn on_rank_round(&mut self, r: usize) {
@@ -1300,8 +1440,7 @@ impl System {
             return;
         }
         self.link_scheduled[r] = true;
-        self.q
-            .schedule(now.max(self.q.now()), Ev::LinkRound(r as u32));
+        self.sched(now.max(self.q.now()), Ev::LinkRound(r as u32));
     }
 
     fn on_link_round(&mut self, r: usize) {
@@ -1462,8 +1601,7 @@ impl System {
 
         // Re-arm.
         self.bridges[r].state_scheduled = true;
-        self.q
-            .schedule(now + self.cfg.i_state(), Ev::RankState(r as u32));
+        self.sched(now + self.cfg.i_state(), Ev::RankState(r as u32));
     }
 
     /// Workload-transfer threshold `W_th` for rank `r`, in workload
@@ -1665,7 +1803,7 @@ impl System {
                 self.consider_host_round(now);
             }
         }
-        self.q.schedule(now + self.cfg.i_state(), Ev::HostState);
+        self.sched(now + self.cfg.i_state(), Ev::HostState);
     }
 
     fn lb_cross_rank(&mut self, now: SimTime) {
@@ -1762,7 +1900,7 @@ impl System {
                 .max(self.host.last_round_start + self.cfg.i_min())
                 .max(self.host.last_round_end),
         };
-        self.q.schedule(at, Ev::HostRound);
+        self.sched(at, Ev::HostRound);
     }
 
     fn on_host_round(&mut self) {

@@ -347,6 +347,70 @@ impl<E> TimerWheel<E> {
         }
     }
 
+    /// `(timestamp, seq)` of the next pending event, without removing
+    /// it. This is the full pop key: two wheels can be merged
+    /// deterministically by comparing `peek_key` results, because
+    /// [`pop`](Self::pop) always returns exactly this pair next.
+    #[inline]
+    pub fn peek_key(&self, now: SimTime) -> Option<(SimTime, u64)> {
+        let wheel = self.front_bucket(now).map(|(at, seq, _)| (at, seq));
+        let heap = self.overflow.peek().map(|o| (o.at, o.seq));
+        match (wheel, heap) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// [`pop`](Self::pop) fused with the follow-up
+    /// [`peek_key`](Self::peek_key): returns the popped entry plus the
+    /// key of the *new* front. When the popped bucket still holds a
+    /// same-tick successor — the common case in burst-heavy schedules —
+    /// that key is read straight off the bucket, skipping the second
+    /// occupancy-bitmap scan a separate `peek_key` call would pay.
+    /// `ShardedEventQueue` re-peeks after every pop, so it rides this.
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    pub fn pop_with_key(
+        &mut self,
+        now: SimTime,
+    ) -> Option<((SimTime, u64, E), Option<(SimTime, u64)>)> {
+        let wheel_front = self.front_bucket(now);
+        let take_overflow = match (wheel_front, self.overflow.peek()) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some((at, seq, _)), Some(o)) => (o.at, o.seq) < (at, seq),
+        };
+        if take_overflow {
+            let o = self.overflow.pop().expect("peeked entry vanished");
+            // Overflow pops are rare; re-scanning here is fine. All
+            // remaining events are >= o.at, so o.at is a valid clock.
+            let key = self.peek_key(o.at);
+            return Some(((o.at, o.seq, o.event), key));
+        }
+        let (_, _, idx) = wheel_front.expect("non-overflow pop with empty wheel");
+        let bucket = &mut self.buckets[idx];
+        let entry = bucket.items.pop_front().expect("occupied bucket was empty");
+        self.wheel_len -= 1;
+        let next_near = match bucket.items.front() {
+            Some(&(at, seq, _)) => Some((at, seq)),
+            None => {
+                self.words[idx >> 6] &= !(1 << (idx & 63));
+                if self.words[idx >> 6] == 0 {
+                    self.summary[idx >> 12] &= !(1 << ((idx >> 6) & 63));
+                }
+                // Every remaining event is >= the popped time, so the
+                // popped time is a valid scan origin.
+                self.front_bucket(entry.0).map(|(at, seq, _)| (at, seq))
+            }
+        };
+        let key = match (next_near, self.overflow.peek().map(|o| (o.at, o.seq))) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Some((entry, key))
+    }
+
     /// `(at, seq, bucket_index)` of the earliest near-tier event, if any.
     #[inline]
     fn front_bucket(&self, now: SimTime) -> Option<(SimTime, u64, usize)> {
@@ -553,6 +617,46 @@ mod tests {
         let (t2, s2, e2) = w.pop(t).unwrap();
         assert_eq!((t1, s1, e1), (t, 0, "old-overflow"));
         assert_eq!((t2, s2, e2), (t, 1, "young-near"));
+    }
+
+    #[test]
+    fn pop_with_key_matches_separate_pop_and_peek() {
+        // Same schedule into twin wheels: one drained with the fused
+        // pop_with_key, one with pop + peek_key. Mix same-tick bursts
+        // (bucket-front fast path), sparse near-tier times, and
+        // far-future overflow entries (rare-branch path).
+        let mut fused = TimerWheel::new();
+        let mut split = TimerWheel::new();
+        let mut seq = 0u64;
+        for (at, copies) in [
+            (3u64, 4usize),
+            (3, 1),
+            (90, 2),
+            (4_000, 1),
+            (2 * WHEEL_SLOTS as u64, 2),
+            (2 * WHEEL_SLOTS as u64, 1),
+            (5, 3),
+        ] {
+            for _ in 0..copies {
+                fused.insert(SimTime::ZERO, SimTime::from_ticks(at), seq, seq);
+                split.insert(SimTime::ZERO, SimTime::from_ticks(at), seq, seq);
+                seq += 1;
+            }
+        }
+        let mut now = SimTime::ZERO;
+        loop {
+            let got = fused.pop_with_key(now);
+            let want = split.pop(now);
+            match (got, want) {
+                (None, None) => break,
+                (Some((entry, key)), Some(w)) => {
+                    assert_eq!(entry, w);
+                    now = entry.0;
+                    assert_eq!(key, split.peek_key(now), "fused key diverged at {now:?}");
+                }
+                (g, w) => panic!("length mismatch: {g:?} vs {w:?}"),
+            }
+        }
     }
 
     #[test]

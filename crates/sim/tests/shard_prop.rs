@@ -1,0 +1,386 @@
+//! Property tests for the sharded conservative parallel-DES engine
+//! (DESIGN.md §9), mirroring `wheel_prop.rs`'s differential style:
+//!
+//! * [`ShardedEventQueue`] under random cross-shard schedules pops
+//!   byte-identically to a deliberately dumb scan-minimum single-list
+//!   reference — the exact-merge contract the system simulator rides.
+//! * [`WindowedEngine`] under random message cascades produces the same
+//!   per-shard handle logs as an independently written *serial*
+//!   implementation of the same windowed protocol, across shard counts
+//!   and reruns.
+//! * The reference asserts the conservative invariants on every step:
+//!   no cross-shard message is delivered before the minimum hop latency
+//!   (the lookahead), every window contains the globally earliest
+//!   pending event (no shard starves, no empty window spins), and every
+//!   spawned message is eventually handled.
+
+use ndpb_sim::shard::{Outbox, ShardLogic, ShardedEventQueue, WindowedEngine};
+use ndpb_sim::wheel::WHEEL_SLOTS;
+use ndpb_sim::{SimRng, SimTime};
+
+// ---- exact-merge mode: ShardedEventQueue vs scan-minimum list -----------
+
+/// Reference model: every scheduled event in one flat list; popping
+/// scans for the minimum `(time, seq)`. Shard assignment is ignored —
+/// which is the point: it must be invisible.
+#[derive(Default)]
+struct RefQueue {
+    pending: Vec<(u64, u64, u32)>, // (ticks, seq, id)
+    seq: u64,
+}
+
+impl RefQueue {
+    fn schedule(&mut self, at: u64, id: u32) {
+        self.pending.push((at, self.seq, id));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let i = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(t, s, _))| (t, s))
+            .map(|(i, _)| i)?;
+        let (t, _, id) = self.pending.swap_remove(i);
+        Some((t, id))
+    }
+}
+
+/// One random offset mixing all wheel tiers (same shape as
+/// `wheel_prop::random_offset`).
+fn random_offset(rng: &mut SimRng) -> u64 {
+    match rng.next_below(10) {
+        0 => 0,
+        1..=4 => rng.next_below(64),
+        5..=7 => rng.next_below(WHEEL_SLOTS as u64),
+        8 => WHEEL_SLOTS as u64 + rng.next_below(64),
+        _ => WHEEL_SLOTS as u64 * rng.next_below(5) + rng.next_below(100_000),
+    }
+}
+
+#[test]
+fn random_cross_shard_schedules_pop_identically_to_reference_model() {
+    for &shards in &[1usize, 2, 3, 5] {
+        for seed in 0..4u64 {
+            let mut rng = SimRng::new(0x5AD ^ (seed << 8) ^ shards as u64);
+            let mut q = ShardedEventQueue::new(shards);
+            let mut model = RefQueue::default();
+            let mut id = 0u32;
+            let mut popped = Vec::new();
+            let mut expected = Vec::new();
+            for _ in 0..3_000 {
+                if rng.chance(0.6) || model.pending.is_empty() {
+                    let at = q.now().ticks() + random_offset(&mut rng);
+                    let copies = if rng.chance(0.2) { 3 } else { 1 };
+                    for _ in 0..copies {
+                        // Ties on purpose: equal-time events spread over
+                        // different shards must still pop in global
+                        // schedule order.
+                        q.schedule(
+                            SimTime::from_ticks(at),
+                            rng.next_below(shards as u64) as usize,
+                            id,
+                        );
+                        model.schedule(at, id);
+                        id += 1;
+                    }
+                } else {
+                    popped.push(q.pop().map(|(t, e)| (t.ticks(), e)));
+                    expected.push(model.pop());
+                }
+            }
+            loop {
+                let got = q.pop().map(|(t, e)| (t.ticks(), e));
+                let want = model.pop();
+                let done = got.is_none() && want.is_none();
+                popped.push(got);
+                expected.push(want);
+                if done {
+                    break;
+                }
+            }
+            assert_eq!(
+                popped, expected,
+                "divergence from reference (shards={shards} seed={seed})"
+            );
+        }
+    }
+}
+
+// ---- windowed mode: WindowedEngine vs serial windowed reference ---------
+
+const LOOKAHEAD: u64 = 16;
+const FANOUT: u64 = 3;
+const FUEL: u32 = 5;
+
+/// A message in the random cascade. `id` is a tree address (child `i`
+/// of `p` is `p * (FANOUT + 1) + i + 1`; roots are `1..=shards ≤ 4`, so
+/// addresses are globally unique) and everything a message does —
+/// child count, destinations, delays — is a pure function of
+/// `(run_seed, id)`. Behavior therefore cannot depend on execution
+/// interleaving, only on which messages exist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Msg {
+    id: u64,
+    fuel: u32,
+}
+
+/// The cascade rule shared verbatim by the parallel logic and the
+/// serial reference. Returns `(local, remote)` emissions for handling
+/// `msg` on shard `me` at time `now`.
+#[allow(clippy::type_complexity)]
+fn children(
+    run_seed: u64,
+    me: usize,
+    n: usize,
+    now: u64,
+    msg: Msg,
+) -> (Vec<(u64, Msg)>, Vec<(u64, usize, Msg)>) {
+    let (mut local, mut remote) = (Vec::new(), Vec::new());
+    if msg.fuel == 0 {
+        return (local, remote);
+    }
+    let mut rng = SimRng::new(run_seed ^ msg.id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    for i in 0..rng.next_below(FANOUT + 1) {
+        let child = Msg {
+            id: msg.id * (FANOUT + 1) + i + 1,
+            fuel: msg.fuel - 1,
+        };
+        let dst = rng.next_below(n as u64) as usize;
+        let off = rng.next_below(3 * LOOKAHEAD);
+        if dst == me {
+            local.push((now + off, child));
+        } else {
+            remote.push((now + LOOKAHEAD + off, dst, child));
+        }
+    }
+    (local, remote)
+}
+
+struct Node {
+    me: usize,
+    n: usize,
+    run_seed: u64,
+    log: Vec<(u64, u64)>, // (time, id)
+}
+
+impl ShardLogic for Node {
+    type Event = Msg;
+    fn handle(&mut self, now: SimTime, msg: Msg, out: &mut Outbox<'_, Msg>) {
+        self.log.push((now.ticks(), msg.id));
+        let (local, remote) = children(self.run_seed, self.me, self.n, now.ticks(), msg);
+        for (at, m) in local {
+            out.local(SimTime::from_ticks(at), m);
+        }
+        for (at, dst, m) in remote {
+            out.remote(SimTime::from_ticks(at), dst, m);
+        }
+    }
+}
+
+struct RefEnv {
+    at: u64,
+    src: usize,
+    dst: usize,
+    seq: u64,
+    emitted_at: u64,
+    msg: Msg,
+}
+
+/// A from-scratch serial implementation of the windowed protocol:
+/// flat scan-minimum pending lists instead of timer wheels, one thread,
+/// explicit round loop. Checks the conservative invariants inline.
+struct SerialRef {
+    run_seed: u64,
+    pending: Vec<Vec<(u64, u64, Msg)>>, // per shard: (at, seq, msg)
+    now: Vec<u64>,
+    seq: Vec<u64>,
+    emit_seq: Vec<u64>,
+    inflight: Vec<RefEnv>,
+    logs: Vec<Vec<(u64, u64)>>,
+    spawned: u64,
+    handled: u64,
+}
+
+impl SerialRef {
+    fn new(run_seed: u64, n: usize) -> Self {
+        SerialRef {
+            run_seed,
+            pending: vec![Vec::new(); n],
+            now: vec![0; n],
+            seq: vec![0; n],
+            emit_seq: vec![0; n],
+            inflight: Vec::new(),
+            logs: vec![Vec::new(); n],
+            spawned: 0,
+            handled: 0,
+        }
+    }
+
+    fn seed(&mut self, shard: usize, at: u64, msg: Msg) {
+        let s = self.seq[shard];
+        self.seq[shard] += 1;
+        self.pending[shard].push((at, s, msg));
+        self.spawned += 1;
+    }
+
+    fn run(&mut self) {
+        let n = self.pending.len();
+        loop {
+            // Window placement: the globally earliest pending time over
+            // wheel contents AND undelivered envelopes.
+            let gmin = self
+                .pending
+                .iter()
+                .flatten()
+                .map(|&(t, _, _)| t)
+                .chain(self.inflight.iter().map(|e| e.at))
+                .min();
+            let Some(gmin) = gmin else { break };
+            let ws = gmin / LOOKAHEAD * LOOKAHEAD;
+            let we = ws + LOOKAHEAD;
+            assert!(
+                ws <= gmin && gmin < we,
+                "window [{ws},{we}) must contain the global minimum {gmin}"
+            );
+            // Deliver last round's envelopes in canonical per-destination
+            // (time, src_shard, seq) order, stamping local seqs.
+            let mut deliver = std::mem::take(&mut self.inflight);
+            deliver.sort_by_key(|e| (e.dst, e.at, e.src, e.seq));
+            for e in deliver {
+                assert!(
+                    e.at >= e.emitted_at + LOOKAHEAD,
+                    "cross-shard message beat the hop latency: emitted {} delivered {}",
+                    e.emitted_at,
+                    e.at
+                );
+                let s = self.seq[e.dst];
+                self.seq[e.dst] += 1;
+                self.pending[e.dst].push((e.at, s, e.msg));
+            }
+            // Execute every shard's slice of the window.
+            for me in 0..n {
+                loop {
+                    let next = self.pending[me]
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &(t, _, _))| t < we)
+                        .min_by_key(|(_, &(t, s, _))| (t, s))
+                        .map(|(i, _)| i);
+                    let Some(i) = next else { break };
+                    let (at, _, msg) = self.pending[me].swap_remove(i);
+                    assert!(at >= self.now[me], "shard {me} time went backwards");
+                    assert!(at >= ws, "event at {at} predates its window start {ws}");
+                    self.now[me] = at;
+                    self.logs[me].push((at, msg.id));
+                    self.handled += 1;
+                    let (local, remote) = children(self.run_seed, me, n, at, msg);
+                    for (lat, m) in local {
+                        let s = self.seq[me];
+                        self.seq[me] += 1;
+                        self.pending[me].push((lat, s, m));
+                        self.spawned += 1;
+                    }
+                    for (rat, dst, m) in remote {
+                        let es = self.emit_seq[me];
+                        self.emit_seq[me] += 1;
+                        self.inflight.push(RefEnv {
+                            at: rat,
+                            src: me,
+                            dst,
+                            seq: es,
+                            emitted_at: at,
+                            msg: m,
+                        });
+                        self.spawned += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            self.handled, self.spawned,
+            "starvation: a spawned message was never handled"
+        );
+    }
+}
+
+fn cascade(run_seed: u64, n: usize) -> WindowedEngine<Node> {
+    let logics = (0..n)
+        .map(|me| Node {
+            me,
+            n,
+            run_seed,
+            log: Vec::new(),
+        })
+        .collect();
+    let mut eng = WindowedEngine::new(logics, SimTime::from_ticks(LOOKAHEAD));
+    for j in 0..n {
+        // Roots 1..=n stay outside the child address space (children of
+        // any live id are ≥ FANOUT + 2) as long as n ≤ FANOUT + 1.
+        eng.seed(
+            j,
+            SimTime::from_ticks(3 * j as u64 + 1),
+            Msg {
+                id: j as u64 + 1,
+                fuel: FUEL,
+            },
+        );
+    }
+    eng
+}
+
+#[test]
+fn windowed_engine_matches_the_serial_reference() {
+    for &n in &[1usize, 2, 3, 4] {
+        for seed in 0..6u64 {
+            let run_seed = 0xCA5CADE ^ (seed << 16) ^ n as u64;
+            let parallel: Vec<Vec<(u64, u64)>> = cascade(run_seed, n)
+                .run()
+                .into_iter()
+                .map(|l| l.log)
+                .collect();
+            let mut reference = SerialRef::new(run_seed, n);
+            for j in 0..n {
+                reference.seed(
+                    j,
+                    3 * j as u64 + 1,
+                    Msg {
+                        id: j as u64 + 1,
+                        fuel: FUEL,
+                    },
+                );
+            }
+            reference.run();
+            assert!(
+                reference.handled >= n as u64,
+                "every seeded shard must handle at least its root"
+            );
+            assert_eq!(
+                parallel, reference.logs,
+                "parallel/serial divergence (n={n} seed={seed}, {} events)",
+                reference.handled
+            );
+        }
+    }
+}
+
+#[test]
+fn windowed_engine_is_deterministic_across_reruns() {
+    for &n in &[2usize, 4] {
+        let run_seed = 0xD5 ^ n as u64;
+        let first: Vec<Vec<(u64, u64)>> = cascade(run_seed, n)
+            .run()
+            .into_iter()
+            .map(|l| l.log)
+            .collect();
+        for _ in 0..3 {
+            let again: Vec<Vec<(u64, u64)>> = cascade(run_seed, n)
+                .run()
+                .into_iter()
+                .map(|l| l.log)
+                .collect();
+            assert_eq!(again, first, "rerun drifted (n={n})");
+        }
+    }
+}

@@ -57,6 +57,105 @@ fn worker_count_is_observationally_invisible() {
     }
 }
 
+/// All six paper designs × two apps: the full matrix the sharded
+/// engine must keep byte-stable.
+fn six_design_points() -> Vec<SweepPoint> {
+    let cols = [
+        Column::Ndp(DesignPoint::C),
+        Column::Ndp(DesignPoint::B),
+        Column::Ndp(DesignPoint::W),
+        Column::Ndp(DesignPoint::O),
+        Column::Host,
+        Column::Ndp(DesignPoint::R),
+    ];
+    ["tree", "spmv"]
+        .iter()
+        .flat_map(|&app| {
+            cols.iter()
+                .map(move |&col| SweepPoint::new(app, col, cfg(), Scale::Tiny))
+        })
+        .collect()
+}
+
+#[test]
+fn shard_count_is_observationally_invisible() {
+    // DESIGN.md §9: sharding one run across per-shard timer wheels must
+    // never show. Every (shards, jobs) combination yields the same
+    // serialized bytes — summary JSON and full per-epoch metrics — and
+    // the same event counts as the serial single-wheel reference, for
+    // all six designs and both apps.
+    let serial = Sweeper::new(1).run(six_design_points());
+    let reference = serialize(&serial);
+    let ref_events: Vec<u64> = serial.iter().map(|r| r.events).collect();
+    for shards in [1, 2, 4] {
+        for jobs in [1, 2] {
+            let got = Sweeper::new(jobs)
+                .with_shards(shards)
+                .run(six_design_points());
+            let events: Vec<u64> = got.iter().map(|r| r.events).collect();
+            assert_eq!(
+                events, ref_events,
+                "event count drifted at shards={shards} jobs={jobs}"
+            );
+            assert_eq!(
+                serialize(&got),
+                reference,
+                "shards={shards} jobs={jobs} must be byte-identical to the serial run"
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_results_cross_shard_counts_both_ways() {
+    // A result cached at shards=1 must be a hit at shards=4 and vice
+    // versa: shard count is excluded from the config fingerprint, so
+    // the point key — and therefore the on-disk cache entry — is
+    // shared.
+    let simulated = |s: &Sweeper| {
+        s.metrics()
+            .live_report()
+            .final_value("sweep/simulated")
+            .unwrap_or(0)
+    };
+    let hits = |s: &Sweeper| {
+        s.metrics()
+            .live_report()
+            .final_value("sweep/cache_hits")
+            .unwrap_or(0)
+    };
+    let point = || {
+        vec![SweepPoint::new(
+            "tree",
+            Column::Ndp(DesignPoint::B),
+            cfg(),
+            Scale::Tiny,
+        )]
+    };
+    for (store_shards, probe_shards) in [(1usize, 4usize), (4, 1)] {
+        let dir = std::env::temp_dir().join(format!(
+            "ndpb-shard-cache-{store_shards}-{probe_shards}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let writer = Sweeper::new(1).with_cache(&dir).with_shards(store_shards);
+        let stored = serialize(&writer.run(point()));
+        assert_eq!(simulated(&writer), 1, "cold cache simulates once");
+
+        let reader = Sweeper::new(1).with_cache(&dir).with_shards(probe_shards);
+        let probed = serialize(&reader.run(point()));
+        assert_eq!(
+            hits(&reader),
+            1,
+            "shards={store_shards} entry must hit at shards={probe_shards}"
+        );
+        assert_eq!(simulated(&reader), 0, "warm probe must not simulate");
+        assert_eq!(probed, stored, "cache round-trip changed bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 #[test]
 fn repeating_a_sweep_in_one_process_is_bit_identical() {
     let sweeper = Sweeper::new(4);
