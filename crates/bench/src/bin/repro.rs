@@ -8,8 +8,9 @@
 //!
 //! Subcommands: `table1 table2 fig2 fig10 fig11 fig12 fig13 fig14a
 //! fig14b fig15 fig16a fig16b fig16c fig16d split-dimm dimm-link
-//! audit all`, plus `serve` (the resident ndpb-serve front-end) and
-//! `bench` (engine throughput).
+//! audit gather all`, plus `serve` (the resident ndpb-serve front-end)
+//! and `bench` (engine throughput; `--small-tier` appends the
+//! Small-scale W vs W+GA gather-traffic section).
 //!
 //! `serve [--port N] [--jobs N] [--cache-dir D] [--max-queue N]
 //! [--max-points N]` runs the simulator as a long-running service:
@@ -64,6 +65,12 @@ struct Opts {
     cache_dir: Option<String>,
     no_cache: bool,
     audit: bool,
+    /// `gather`: override `SystemConfig::steal_budget_gxfer` (`G_xfer`
+    /// multiples of steal bytes per `W_th` stolen; default 2).
+    steal_budget: Option<u32>,
+    /// `bench --small-tier`: append the Small-scale W vs W+GA section
+    /// (gather bytes + makespan) to the JSON report.
+    small_tier: bool,
     /// `bench`: repetitions per design (default 5, or 2 with --quick).
     reps: Option<u32>,
     /// `bench`: fewer reps for a CI smoke.
@@ -90,6 +97,8 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut cache_dir = None;
     let mut no_cache = false;
     let mut audit = false;
+    let mut steal_budget = None;
+    let mut small_tier = false;
     let mut port = 7878u16;
     let mut max_queue = 256usize;
     let mut max_points = 64usize;
@@ -124,6 +133,10 @@ fn parse_opts(args: &[String]) -> Opts {
             "--cache-dir" => cache_dir = it.next().cloned(),
             "--no-cache" => no_cache = true,
             "--audit" => audit = true,
+            "--steal-budget" => {
+                steal_budget = it.next().and_then(|v| v.parse().ok());
+            }
+            "--small-tier" => small_tier = true,
             "--reps" => {
                 reps = it.next().and_then(|v| v.parse().ok());
                 if reps.is_none() {
@@ -174,6 +187,8 @@ fn parse_opts(args: &[String]) -> Opts {
         cache_dir,
         no_cache,
         audit,
+        steal_budget,
+        small_tier,
         reps,
         quick,
         port,
@@ -960,8 +975,71 @@ fn bench_engine(o: &Opts) {
     } else {
         format!("\"shards\":[\n{}\n],", shard_rows.join(",\n"))
     };
+    // --small-tier: the Small-scale gather-traffic tier (ROADMAP item
+    // 1 acceptance: W+GA moves >= 2x fewer gather bytes than W with
+    // makespan no worse). One pass per design — the numbers recorded
+    // are deterministic byte counts and makespans, not wall times.
+    let mut small_tier_json = String::new();
+    if o.small_tier {
+        let tier_cols = [DesignPoint::W, DesignPoint::WGather];
+        let mut tier_rows = Vec::new();
+        let mut gathers = [0u64; 2];
+        let mut app_gathers: Vec<Vec<f64>> = vec![Vec::new(); 2];
+        let mut makespans: Vec<Vec<f64>> = vec![Vec::new(); 2];
+        println!(
+            "\n{:<8}{:>14}{:>18}{:>12}   (Small-scale gather tier)",
+            "design", "gather KB", "geomean ticks", "events"
+        );
+        for (ci, d) in tier_cols.iter().enumerate() {
+            let mut ev = 0u64;
+            for app in &apps {
+                let r = ndpb_bench::run_one(app, *d, SystemConfig::table1(), Scale::Small);
+                let g = r.metrics.final_value("ledger/comm/gather").unwrap_or(0);
+                gathers[ci] += g;
+                app_gathers[ci].push(g.max(1) as f64);
+                makespans[ci].push(r.makespan.ticks() as f64);
+                ev += r.events;
+            }
+            let gm = geomean(&makespans[ci]);
+            println!(
+                "{:<8}{:>14}{:>18.0}{:>12}",
+                d.to_string(),
+                gathers[ci] >> 10,
+                gm,
+                ev
+            );
+            tier_rows.push(format!(
+                "{{\"design\":\"{d}\",\"gather_bytes\":{},\"geomean_makespan_ticks\":{gm:.1},\"events\":{ev}}}",
+                gathers[ci]
+            ));
+        }
+        // Geomean of per-app gather ratios (== ratio of geomeans), the
+        // same statistic the invariants suite pins — a sum would let
+        // one heavy app's traffic floor mask the per-app reduction.
+        let reduction = geomean(&app_gathers[0]) / geomean(&app_gathers[1]);
+        let perf = geomean(&makespans[0]) / geomean(&makespans[1]);
+        println!("gather reduction W+GA vs W: {reduction:.2}x   W+GA speedup over W: {perf:.3}x");
+        // Non-gating delta against the committed baseline's small tier.
+        if let Ok(text) = std::fs::read_to_string("docs/repro/BENCH_repro.json") {
+            if let Ok(base) = ndpb_bench::json::Json::parse(&text) {
+                if let Some(br) = base
+                    .get("small_tier")
+                    .and_then(|t| t.get("gather_reduction_x"))
+                    .and_then(|v| v.as_f64())
+                {
+                    println!(
+                        "[baseline small-tier gather reduction {br:.2}x, this run {reduction:.2}x]"
+                    );
+                }
+            }
+        }
+        small_tier_json = format!(
+            "\"small_tier\":{{\"scale\":\"Small\",\"designs\":[\n{}\n],\"gather_reduction_x\":{reduction:.3},\"speedup_x\":{perf:.4}}},",
+            tier_rows.join(",\n")
+        );
+    }
     let body = format!(
-        "{{\"bench\":\"fig10\",\"scale\":\"{:?}\",\"reps\":{},\"apps\":[{}],\"designs\":[\n{}\n],{}\"total_events\":{},\"total_median_wall_seconds\":{:.6},\"total_events_per_sec\":{:.1}}}\n",
+        "{{\"bench\":\"fig10\",\"scale\":\"{:?}\",\"reps\":{},\"apps\":[{}],\"designs\":[\n{}\n],{}{}\"total_events\":{},\"total_median_wall_seconds\":{:.6},\"total_events_per_sec\":{:.1}}}\n",
         scale,
         reps,
         apps.iter()
@@ -970,6 +1048,7 @@ fn bench_engine(o: &Opts) {
             .join(","),
         rows.join(",\n"),
         shards_json,
+        small_tier_json,
         total_events,
         total_median,
         total_eps
@@ -1052,7 +1131,11 @@ fn audit_breakdown(o: &Opts) {
     println!("(W adds work stealing over B; the ledger shows where the extra bytes");
     println!(" go — scheduled-task mail, block migration, return traffic.)\n");
     let apps = app_refs(o);
-    let cols = [Column::Ndp(DesignPoint::B), Column::Ndp(DesignPoint::W)];
+    let cols = [
+        Column::Ndp(DesignPoint::B),
+        Column::Ndp(DesignPoint::W),
+        Column::Ndp(DesignPoint::WGather),
+    ];
     let m = run_matrix(
         &apps,
         &cols,
@@ -1127,6 +1210,97 @@ fn audit_breakdown(o: &Opts) {
     println!("auditor: zero violations (a violation would have aborted the sweep)");
 }
 
+/// `repro gather`: the gather-cost-aware stealing ablation (ROADMAP
+/// item 1 / DESIGN.md §10) — a fig10-analog sweep over B, the W
+/// ablation ladder (byte budget, lent preference, both) and O±GA, with
+/// the per-design `ledger/comm/gather` bytes that motivated the policy.
+/// The ledger rows are always registered, so no `--audit` is needed.
+fn gather_aware(o: &Opts) {
+    println!(
+        "== Gather-cost-aware stealing: W ablations + O, scale {:?} ==",
+        o.scale
+    );
+    println!("(steal batches budgeted by wire bytes; tasks for already-lent blocks");
+    println!(
+        " forward task-only — see DESIGN.md §10; budget {} x G_xfer per W_th)\n",
+        o.steal_budget
+            .unwrap_or_else(|| SystemConfig::table1().steal_budget_gxfer)
+    );
+    let apps = app_refs(o);
+    let cols = [
+        Column::Ndp(DesignPoint::B),
+        Column::Ndp(DesignPoint::W),
+        Column::Ndp(DesignPoint::WByte),
+        Column::Ndp(DesignPoint::WLent),
+        Column::Ndp(DesignPoint::WGather),
+        Column::Ndp(DesignPoint::O),
+        Column::Ndp(DesignPoint::OGather),
+    ];
+    let steal_budget = o.steal_budget;
+    let m = run_matrix(
+        &apps,
+        &cols,
+        move || {
+            let mut c = SystemConfig::table1();
+            if let Some(b) = steal_budget {
+                c.steal_budget_gxfer = b;
+            }
+            c
+        },
+        o.scale,
+    );
+    dump_json(o, &m);
+    print!("{}", format_speedup_table(&apps, &cols, &m));
+    let gather = |r: &ndpb_core::RunResult| -> u64 {
+        r.metrics.final_value("ledger/comm/gather").unwrap_or(0)
+    };
+    println!("\ngather traffic (KB; the bytes the byte budget rations):");
+    print!("{:<8}", "app");
+    for c in &cols {
+        print!("{:>10}", c.label());
+    }
+    println!();
+    for (i, app) in apps.iter().enumerate() {
+        print!("{app:<8}");
+        for cell in &m[i][..cols.len()] {
+            print!("{:>10}", gather(cell) >> 10);
+        }
+        println!();
+    }
+    // Per-design geomean ratios vs plain W: the acceptance metric is
+    // W+GA moving >= 2x fewer gather bytes at makespan no worse.
+    println!("\nvs W (geomean over apps; gather <1 = fewer bytes, perf >1 = faster):");
+    println!("{:<10}{:>12}{:>12}", "design", "gather", "perf");
+    for (j, c) in cols.iter().enumerate() {
+        if c.label() == "W" {
+            continue;
+        }
+        let gr: Vec<f64> = (0..apps.len())
+            .map(|i| gather(&m[i][j]).max(1) as f64 / gather(&m[i][1]).max(1) as f64)
+            .collect();
+        let perf: Vec<f64> = (0..apps.len())
+            .map(|i| m[i][1].makespan.ticks() as f64 / m[i][j].makespan.ticks() as f64)
+            .collect();
+        println!(
+            "{:<10}{:>11.3}x{:>11.3}x",
+            c.label(),
+            geomean(&gr),
+            geomean(&perf)
+        );
+    }
+    let wga_gather: Vec<f64> = (0..apps.len())
+        .map(|i| gather(&m[i][1]).max(1) as f64 / gather(&m[i][4]).max(1) as f64)
+        .collect();
+    let wga_perf: Vec<f64> = (0..apps.len())
+        .map(|i| m[i][1].makespan.ticks() as f64 / m[i][4].makespan.ticks() as f64)
+        .collect();
+    println!(
+        "\ngather reduction W+GA vs W: {:.2}x   W+GA speedup over W: {:.3}x",
+        geomean(&wga_gather),
+        geomean(&wga_perf)
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Flags-first invocation (`repro --trace out.json`) implies the
@@ -1159,6 +1333,7 @@ fn main() {
         "split-dimm" => split_dimm(&o),
         "dimm-link" => dimm_link(&o),
         "audit" => audit_breakdown(&o),
+        "gather" => gather_aware(&o),
         "bench" => bench_engine(&o),
         "serve" => serve(&o),
         "all" => {
@@ -1191,7 +1366,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown subcommand {other:?}");
-            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|audit|bench|serve|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--jobs N] [--cache-dir path] [--no-cache] [--audit] [--json path] [--trace path] [--metrics-json path] [--reps N] [--quick] [--shards N] [--port N] [--max-queue N] [--max-points N]");
+            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|audit|gather|bench|serve|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--jobs N] [--cache-dir path] [--no-cache] [--audit] [--steal-budget N] [--json path] [--trace path] [--metrics-json path] [--reps N] [--quick] [--small-tier] [--shards N] [--port N] [--max-queue N] [--max-points N]");
             std::process::exit(2);
         }
     }

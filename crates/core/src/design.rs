@@ -34,6 +34,17 @@ pub struct LbPolicy {
     /// Workload correction with the `toArrive` counter (applied to both
     /// W and O per Section VII).
     pub workload_correction: bool,
+    /// `+Byte`: budget each steal batch by estimated wire bytes moved,
+    /// amortized against the gather/scatter cost `W_th` already models
+    /// (see `crate::steal::steal_byte_budget`). Steals that would blow
+    /// the byte budget are deferred to a later round.
+    pub byte_budget: bool,
+    /// `+Lent`: prefer forwarding tasks whose blocks are *already
+    /// lent out* — a task-only transfer straight to the current
+    /// holder, with no gather/scatter at all — over moving fresh
+    /// blocks. (Those tasks would be rerouted to the holder
+    /// one-by-one on pop anyway; the steal round batches them.)
+    pub prefer_lent: bool,
 }
 
 impl LbPolicy {
@@ -44,6 +55,8 @@ impl LbPolicy {
         fine_grained: false,
         hot_data: false,
         workload_correction: false,
+        byte_budget: false,
+        prefer_lent: false,
     };
 
     /// Traditional work stealing with workload correction (design W).
@@ -53,6 +66,8 @@ impl LbPolicy {
         fine_grained: false,
         hot_data: false,
         workload_correction: true,
+        byte_budget: false,
+        prefer_lent: false,
     };
 
     /// Full data-transfer-aware policy (design O).
@@ -62,6 +77,16 @@ impl LbPolicy {
         fine_grained: true,
         hot_data: true,
         workload_correction: true,
+        byte_budget: false,
+        prefer_lent: false,
+    };
+
+    /// Gather-cost-aware stealing (design `W+GA`): traditional work
+    /// stealing plus the byte budget and the lent-block preference.
+    pub const GATHER_AWARE: LbPolicy = LbPolicy {
+        byte_budget: true,
+        prefer_lent: true,
+        ..LbPolicy::WORK_STEALING
     };
 }
 
@@ -84,6 +109,17 @@ pub enum DesignPoint {
     WFine,
     /// W plus hot-data selection only (Figure 14a `+Hot`).
     WHot,
+    /// W plus the steal byte budget only (`W+Byte`): steal-half still
+    /// picks blindly, but each round defers steals past its byte cap.
+    WByte,
+    /// W plus the lent-block preference only (`W+Lent`): task-only
+    /// forwards to current holders beat fresh block moves.
+    WLent,
+    /// Gather-cost-aware work stealing (`W+GA` = `W+Byte+Lent`): the
+    /// ROADMAP item-1 policy closing the Fig 10 gather-traffic gap.
+    WGather,
+    /// The full design plus the gather-aware knobs (`O+GA`).
+    OGather,
 }
 
 impl DesignPoint {
@@ -114,6 +150,20 @@ impl DesignPoint {
                 hot_data: true,
                 ..LbPolicy::WORK_STEALING
             },
+            DesignPoint::WByte => LbPolicy {
+                byte_budget: true,
+                ..LbPolicy::WORK_STEALING
+            },
+            DesignPoint::WLent => LbPolicy {
+                prefer_lent: true,
+                ..LbPolicy::WORK_STEALING
+            },
+            DesignPoint::WGather => LbPolicy::GATHER_AWARE,
+            DesignPoint::OGather => LbPolicy {
+                byte_budget: true,
+                prefer_lent: true,
+                ..LbPolicy::DATA_AWARE
+            },
         }
     }
 
@@ -139,6 +189,10 @@ impl fmt::Display for DesignPoint {
             DesignPoint::WAdv => "W+Adv",
             DesignPoint::WFine => "W+Fine",
             DesignPoint::WHot => "W+Hot",
+            DesignPoint::WByte => "W+Byte",
+            DesignPoint::WLent => "W+Lent",
+            DesignPoint::WGather => "W+GA",
+            DesignPoint::OGather => "O+GA",
         };
         f.write_str(s)
     }
@@ -186,5 +240,45 @@ mod tests {
     fn display_names() {
         assert_eq!(DesignPoint::O.to_string(), "O");
         assert_eq!(DesignPoint::WHot.to_string(), "W+Hot");
+        assert_eq!(DesignPoint::WGather.to_string(), "W+GA");
+        assert_eq!(DesignPoint::OGather.to_string(), "O+GA");
+    }
+
+    #[test]
+    fn gather_aware_knobs_compose() {
+        // Single-knob ablations toggle exactly one new field over W.
+        let byte = DesignPoint::WByte.lb_policy();
+        assert!(byte.byte_budget && !byte.prefer_lent);
+        let lent = DesignPoint::WLent.lb_policy();
+        assert!(lent.prefer_lent && !lent.byte_budget);
+        // W+GA is both; everything else stays W.
+        let ga = DesignPoint::WGather.lb_policy();
+        assert!(ga.byte_budget && ga.prefer_lent);
+        assert_eq!(
+            LbPolicy {
+                byte_budget: false,
+                prefer_lent: false,
+                ..ga
+            },
+            LbPolicy::WORK_STEALING
+        );
+        // O+GA keeps O's four knobs and adds the two new ones.
+        let oga = DesignPoint::OGather.lb_policy();
+        assert!(oga.byte_budget && oga.prefer_lent && oga.hot_data && oga.in_advance);
+        // Every baseline design leaves the new knobs off (golden runs
+        // must stay byte-identical).
+        for d in [
+            DesignPoint::C,
+            DesignPoint::B,
+            DesignPoint::W,
+            DesignPoint::O,
+            DesignPoint::R,
+            DesignPoint::WAdv,
+            DesignPoint::WFine,
+            DesignPoint::WHot,
+        ] {
+            let p = d.lb_policy();
+            assert!(!p.byte_budget && !p.prefer_lent, "{d} grew a new knob");
+        }
     }
 }

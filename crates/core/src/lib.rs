@@ -28,6 +28,7 @@ pub mod fasthash;
 pub mod hostonly;
 pub mod metadata;
 pub mod result;
+pub mod steal;
 pub mod system;
 pub mod unit;
 

@@ -23,7 +23,8 @@ use crate::config::{w_threshold, SystemConfig, TriggerPolicy};
 use crate::design::{CommPath, DesignPoint, LbPolicy};
 use crate::epoch::EpochTracker;
 use crate::result::RunResult;
-use crate::unit::NdpUnit;
+use crate::steal;
+use crate::unit::{NdpUnit, ScheduledBlock};
 
 /// Synthetic row ids for controller-managed bank regions (beyond the
 /// data rows, like the paper's reserved addresses).
@@ -1695,6 +1696,9 @@ impl System {
                 },
             ));
         }
+        if self.lb.byte_budget || self.lb.prefer_lent {
+            return self.schedule_giver_aware(r, giver, budget, receivers, now, cross_rank);
+        }
         let hot = self.lb.hot_data;
         let chosen = {
             let map = &self.map;
@@ -1710,13 +1714,165 @@ impl System {
             } else {
                 base + receivers[rr % receivers.len()]
             };
-            let recv_id = UnitId(recv_global as u32);
+            self.emit_scheduled_block(r, giver, sb, recv_global, false, cross_rank, now);
+        }
+        self.consider_comm(giver, now);
+    }
+
+    /// Gather-cost-aware variant of `schedule_giver`
+    /// (`LbPolicy::byte_budget` / `prefer_lent`, DESIGN.md §10): the
+    /// round's workload budget is converted into a wire-byte budget via
+    /// `steal::steal_byte_budget`, the giver's queued tasks for blocks
+    /// already lent to one of this round's receivers become task-only
+    /// forward candidates, and `steal::plan_steal` picks in preference
+    /// order (task-only → hot → densest) until either budget runs dry.
+    fn schedule_giver_aware(
+        &mut self,
+        r: usize,
+        giver: usize,
+        budget: u64,
+        receivers: &[usize],
+        now: SimTime,
+        cross_rank: bool,
+    ) {
+        let byte_budget = if self.lb.byte_budget {
+            let w_th = self.rank_w_threshold(r);
+            // Overload gate: moving a block only pays when the giver is
+            // genuinely backlogged (DESIGN.md §10). Each block move
+            // provokes a full gather-round sweep — `chips · G_xfer` of
+            // ledger traffic, far more than the message's own wire
+            // bytes — so a queue shallower than `steal_gate_wth · W_th`
+            // (transient imbalance that drains on its own) gets a zero
+            // *data* budget. Task-only forwards, which ride the reroute
+            // path's mail anyway, are still allowed. This is what stops
+            // low-parallelism apps from re-stealing thin blocks every
+            // idle round.
+            let gate = u64::from(self.cfg.steal_gate_wth) * w_th.max(1);
+            if self.units[giver].queue_workload() < gate {
+                0
+            } else {
+                // Rate-limit: the *byte* allowance per round is what
+                // the fine-grained policy would move (2·W_th per giver
+                // round), even when the workload budget is steal-half's
+                // much larger half-queue. Deliberately NOT multiplied
+                // by the receiver count: a starved rank has many idle
+                // receivers, and that is exactly when per-round traffic
+                // must stay bounded. Task-only forwards cost almost no
+                // bytes, so they can still fill the rest of the
+                // workload budget past this cap.
+                let fine_equiv = 2 * w_th.max(1);
+                steal::steal_byte_budget(
+                    budget.min(fine_equiv),
+                    w_th,
+                    self.cfg.g_xfer,
+                    self.cfg.steal_budget_gxfer,
+                )
+            }
+        } else {
+            u64::MAX
+        };
+        // Blocks this giver owns that are currently lent out with a
+        // known holder in this rank: their queued tasks would be
+        // rerouted to the holder one-by-one on pop anyway, so the steal
+        // round forwards them eagerly, task-only — no gather/scatter at
+        // all. Intra-rank only — at the host level borrowed blocks are
+        // tracked per rank, not per holder unit.
+        let mut lent_to: FastMap<u64, UnitId> = FastMap::default();
+        if self.lb.prefer_lent && !cross_rank {
+            for block in self.units[giver].queued_lent_home_blocks(&self.map) {
+                if let Some(&holder) = self.bridges[r].data_borrowed.peek(&block) {
+                    if holder.index() != giver {
+                        lent_to.insert(block.0, holder);
+                    }
+                }
+            }
+        }
+        let data_wire = u64::from(
+            Message::Data(
+                DataMessage {
+                    block: BlockAddr(0),
+                    bytes: self.cfg.g_xfer,
+                    workload: 0,
+                },
+                None,
+            )
+            .wire_bytes(),
+        );
+        let hot = self.lb.hot_data;
+        let amortize = self.lb.byte_budget.then(|| steal::AmortizeCfg {
+            g_xfer: self.cfg.g_xfer,
+            budget_gxfer: self.cfg.steal_budget_gxfer,
+            w_th: self.rank_w_threshold(r),
+        });
+        let picks = {
+            let map = &self.map;
+            self.units[giver].choose_scheduled_out_aware(
+                budget,
+                byte_budget,
+                hot,
+                &lent_to,
+                data_wire,
+                amortize,
+                map,
+            )
+        };
+        if picks.is_empty() {
+            return;
+        }
+        let base = r * self.cfg.geometry.units_per_rank() as usize;
+        let mut rr = 0usize;
+        for pick in picks {
+            let (recv_global, task_only) = match pick.pinned_recv {
+                Some(holder) => (holder.index(), true),
+                None => {
+                    let g = if cross_rank {
+                        receivers[rr % receivers.len()]
+                    } else {
+                        base + receivers[rr % receivers.len()]
+                    };
+                    rr += 1;
+                    (g, false)
+                }
+            };
+            self.emit_scheduled_block(r, giver, pick.sb, recv_global, task_only, cross_rank, now);
+        }
+        self.consider_comm(giver, now);
+    }
+
+    /// Emits one scheduled block toward `recv_global`: migration
+    /// metadata, `toArrive` accounting at both levels, the data message
+    /// and the task messages. `task_only` (gather-aware forwards to the
+    /// block's current holder) skips everything data-related — no
+    /// migration count, no metadata update, no data message — because
+    /// the block does not move; only the task descriptors travel.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_scheduled_block(
+        &mut self,
+        r: usize,
+        giver: usize,
+        sb: ScheduledBlock,
+        recv_global: usize,
+        task_only: bool,
+        cross_rank: bool,
+        now: SimTime,
+    ) {
+        let recv_id = UnitId(recv_global as u32);
+        if task_only {
+            self.trace_block(sb.block, || {
+                format!(
+                    "task-only forward giver=u{giver} holder=u{recv_global} tasks={}",
+                    sb.tasks.len()
+                )
+            });
+        } else {
             self.trace_block(sb.block, || {
                 format!(
                     "scheduled giver=u{giver} recv=u{recv_global} tasks={}",
                     sb.tasks.len()
                 )
             });
+        }
+        if !task_only {
             self.metrics.inc(self.m.blocks_migrated);
             if let Some(tr) = sink(&mut self.trace) {
                 tr.record(TraceRecord::instant(
@@ -1760,14 +1916,16 @@ impl System {
                     ),
                 );
             }
-            // Both `toArrive` levels track the in-flight scheduled
-            // workload toward the intended receiver from SCHEDULE until
-            // first delivery, so host-level idle detection also sees
-            // intra-rank transfers under way (Section VI-C).
-            let recv_rank_idx = self.cfg.geometry.rank_of(recv_id).index();
-            let recv_local = self.local_index(recv_global);
-            self.host.to_arrive[recv_rank_idx] += sb.workload;
-            self.bridges[recv_rank_idx].to_arrive[recv_local] += sb.workload;
+        }
+        // Both `toArrive` levels track the in-flight scheduled
+        // workload toward the intended receiver from SCHEDULE until
+        // first delivery, so host-level idle detection also sees
+        // intra-rank transfers under way (Section VI-C).
+        let recv_rank_idx = self.cfg.geometry.rank_of(recv_id).index();
+        let recv_local = self.local_index(recv_global);
+        self.host.to_arrive[recv_rank_idx] += sb.workload;
+        self.bridges[recv_rank_idx].to_arrive[recv_local] += sb.workload;
+        if !task_only {
             // Giver reads the block from its bank and mails it out.
             let dm = DataMessage {
                 block: sb.block,
@@ -1775,11 +1933,10 @@ impl System {
                 workload: sb.workload,
             };
             self.emit_message(giver, Message::Data(dm, Some(recv_id)), now);
-            for task in sb.tasks {
-                self.emit_message(giver, Message::Task(task, Some(recv_id)), now);
-            }
         }
-        self.consider_comm(giver, now);
+        for task in sb.tasks {
+            self.emit_message(giver, Message::Task(task, Some(recv_id)), now);
+        }
     }
 
     // ---- host-level state + rounds -------------------------------------------

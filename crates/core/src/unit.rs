@@ -4,14 +4,30 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use ndpb_dram::{AddressMap, BankModel, BlockAddr, UnitId};
-use ndpb_proto::{Mailbox, Message};
+use ndpb_proto::{Mailbox, Message, MAX_MESSAGE_BYTES};
 use ndpb_sim::stats::{BusyTime, Counter};
 use ndpb_sim::{SimRng, SimTime};
 use ndpb_sketch::{HotSketch, ReservedQueue};
 use ndpb_tasks::{Task, Timestamp};
 
 use crate::config::SystemConfig;
+use crate::fasthash::{FastMap, FastSet};
 use crate::metadata::LentBitmap;
+use crate::steal;
+
+/// A selection made by the gather-cost-aware steal path
+/// ([`NdpUnit::choose_scheduled_out_aware`]): a scheduled block plus
+/// where it must go. `pinned_recv = Some(holder)` marks a *task-only*
+/// forward — the block already lives at `holder`, so no data message
+/// travels and the block stays marked lent to its current holder.
+#[derive(Debug, Clone)]
+pub struct AwarePick {
+    /// The chosen block and its departing tasks.
+    pub sb: ScheduledBlock,
+    /// Mandatory receiver for task-only forwards; `None` lets the
+    /// bridge assign one round-robin (a normal block move).
+    pub pinned_recv: Option<UnitId>,
+}
 
 /// A block chosen by a giver for lending, with the tasks that leave
 /// alongside it (step ② of Figure 6).
@@ -407,11 +423,185 @@ impl NdpUnit {
         out
     }
 
+    /// Distinct home blocks that are currently lent out but still have
+    /// tasks queued here. Such tasks would be rerouted to the holder
+    /// one-by-one on pop anyway; the gather-aware steal path forwards
+    /// them eagerly (task-only, no data transfer) when the holder is
+    /// one of the round's receivers.
+    pub fn queued_lent_home_blocks(&self, map: &AddressMap) -> Vec<BlockAddr> {
+        let mut seen = FastSet::default();
+        let mut out = Vec::new();
+        for t in &self.task_queue {
+            let block = map.block_of(t.data);
+            if map.block_home(block) == self.id
+                && self.is_lent.is_lent(block)
+                && seen.insert(block.0)
+            {
+                out.push(block);
+            }
+        }
+        out
+    }
+
+    /// Gather-cost-aware giver-side selection (`LbPolicy::byte_budget`
+    /// / `prefer_lent`): like [`choose_scheduled_out`], but every pick
+    /// is charged its wire bytes against `byte_budget`, candidates that
+    /// cannot amortize their own transfer (`amortize`, see
+    /// [`steal::AmortizeCfg`]) are skipped outright, and tasks whose
+    /// blocks are already lent out (the `lent_to` map, block address →
+    /// holder) are forwarded task-only, pinned to that holder.
+    /// Candidates are ranked by [`crate::steal`]'s preference order;
+    /// over-budget candidates are deferred to a later round.
+    ///
+    /// [`choose_scheduled_out`]: Self::choose_scheduled_out
+    #[allow(clippy::too_many_arguments)]
+    pub fn choose_scheduled_out_aware(
+        &mut self,
+        budget: u64,
+        byte_budget: u64,
+        hot_first: bool,
+        lent_to: &FastMap<u64, UnitId>,
+        data_wire_bytes: u64,
+        amortize: Option<steal::AmortizeCfg>,
+        map: &AddressMap,
+    ) -> Vec<AwarePick> {
+        let mut out = Vec::new();
+        let mut wl_left = budget;
+        let mut bytes_left = byte_budget;
+        // Hot pre-phase: same source as the non-aware path (sketch +
+        // reserved queue), but each block is charged data + task wire
+        // bytes. The first unaffordable hot block is deferred back to
+        // the ready queue and ends the phase.
+        if hot_first {
+            while wl_left > 0 {
+                let Some((key, _)) = self.sketch.pop_hottest() else {
+                    break;
+                };
+                let block = BlockAddr(key);
+                let tasks = self.reserved.take(key);
+                if tasks.is_empty() {
+                    continue;
+                }
+                if !self.lendable(block, map) {
+                    self.task_queue.extend(tasks);
+                    continue;
+                }
+                let cost = data_wire_bytes + task_wire_bytes(&tasks);
+                if cost > bytes_left {
+                    self.task_queue.extend(tasks);
+                    break;
+                }
+                let wl: u64 = tasks.iter().map(Task::workload_or_default).sum();
+                self.is_lent.set(block);
+                self.pending_workload -= wl;
+                wl_left = wl_left.saturating_sub(wl);
+                bytes_left -= cost;
+                out.push(AwarePick {
+                    sb: ScheduledBlock {
+                        block,
+                        tasks,
+                        workload: wl,
+                    },
+                    pinned_recv: None,
+                });
+            }
+        }
+        if wl_left == 0 {
+            return out;
+        }
+        // Candidate scan: group the ready queue by block (back-to-front,
+        // matching steal-half's tail preference — earlier-scanned groups
+        // win planner ties). Tasks for blocks lent elsewhere (holder not
+        // receiving this round) or borrowed here stay put for the
+        // ordinary reroute path.
+        let mut cands: Vec<steal::StealCandidate> = Vec::new();
+        let mut idx_of: FastMap<u64, usize> = FastMap::default();
+        for task in self.task_queue.iter().rev() {
+            let block = map.block_of(task.data);
+            let task_only = lent_to.contains_key(&block.0);
+            if !task_only && !self.lendable(block, map) {
+                continue;
+            }
+            let tb = u64::from(task.wire_bytes().min(MAX_MESSAGE_BYTES));
+            let wl = task.workload_or_default();
+            match idx_of.get(&block.0) {
+                Some(&i) => {
+                    cands[i].workload += wl;
+                    cands[i].task_bytes += tb;
+                }
+                None => {
+                    idx_of.insert(block.0, cands.len());
+                    cands.push(steal::StealCandidate {
+                        key: block.0,
+                        workload: wl,
+                        task_bytes: tb,
+                        data_bytes: if task_only { 0 } else { data_wire_bytes },
+                        hot: self.sketch.get(block.0).is_some(),
+                    });
+                }
+            }
+        }
+        // Payoff filter: a block move whose queued workload cannot hide
+        // its own wire bytes is not worth making at any budget — the
+        // receiver would stall longer than the stolen work runs.
+        if let Some(am) = amortize {
+            cands.retain(|c| am.pays(c));
+        }
+        let picked = steal::plan_steal(&cands, wl_left, bytes_left);
+        if picked.is_empty() {
+            return out;
+        }
+        // Extract the picked blocks' tasks in one front-to-back pass
+        // (preserves queue order within each group and for the rest).
+        let planned_start = out.len();
+        let mut slot_of: FastMap<u64, usize> = FastMap::default();
+        for i in picked {
+            let block = BlockAddr(cands[i].key);
+            slot_of.insert(block.0, out.len());
+            out.push(AwarePick {
+                sb: ScheduledBlock {
+                    block,
+                    tasks: Vec::new(),
+                    workload: 0,
+                },
+                pinned_recv: lent_to.get(&block.0).copied(),
+            });
+        }
+        let mut remaining: VecDeque<Task> = VecDeque::with_capacity(self.task_queue.len());
+        for task in self.task_queue.drain(..) {
+            let block = map.block_of(task.data);
+            match slot_of.get(&block.0) {
+                Some(&si) => {
+                    let sb = &mut out[si].sb;
+                    sb.workload += task.workload_or_default();
+                    sb.tasks.push(task);
+                }
+                None => remaining.push_back(task),
+            }
+        }
+        self.task_queue = remaining;
+        for pick in &out[planned_start..] {
+            self.pending_workload -= pick.sb.workload;
+            if pick.pinned_recv.is_none() {
+                self.is_lent.set(pick.sb.block);
+            }
+        }
+        out
+    }
+
     /// The unit's deterministic RNG (for system-level decisions tied to
     /// this unit).
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rng
     }
+}
+
+/// Wire bytes of a batch of task descriptors, as they would be mailed.
+fn task_wire_bytes(tasks: &[Task]) -> u64 {
+    tasks
+        .iter()
+        .map(|t| u64::from(t.wire_bytes().min(MAX_MESSAGE_BYTES)))
+        .sum()
 }
 
 #[cfg(test)]

@@ -50,6 +50,10 @@ fn parse_column(s: &str) -> Option<Column> {
         "W+ADV" => Column::Ndp(DesignPoint::WAdv),
         "W+FINE" => Column::Ndp(DesignPoint::WFine),
         "W+HOT" => Column::Ndp(DesignPoint::WHot),
+        "W+BYTE" => Column::Ndp(DesignPoint::WByte),
+        "W+LENT" => Column::Ndp(DesignPoint::WLent),
+        "W+GA" => Column::Ndp(DesignPoint::WGather),
+        "O+GA" => Column::Ndp(DesignPoint::OGather),
         "H" => Column::Host,
         _ => return None,
     })
@@ -305,6 +309,23 @@ mod tests {
         assert!(matches!(r.scale, Scale::Small));
         assert_eq!(r.audit, Some(AuditLevel::Full));
         assert_eq!(r.points().len(), 6, "apps x designs cross product");
+    }
+
+    #[test]
+    fn parse_accepts_gather_aware_designs() {
+        let r = RunRequest::parse(
+            "{\"app\":\"tree\",\"designs\":[\"W+Byte\",\"w+lent\",\"W+GA\",\"o+ga\"]}",
+        )
+        .unwrap();
+        assert_eq!(
+            r.columns,
+            vec![
+                Column::Ndp(DesignPoint::WByte),
+                Column::Ndp(DesignPoint::WLent),
+                Column::Ndp(DesignPoint::WGather),
+                Column::Ndp(DesignPoint::OGather),
+            ]
+        );
     }
 
     #[test]

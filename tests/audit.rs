@@ -41,7 +41,7 @@ fn audited_cfg() -> SystemConfig {
 
 const APP: &str = "tree";
 
-fn columns() -> [Column; 6] {
+fn columns() -> [Column; 10] {
     [
         Column::Ndp(DesignPoint::C),
         Column::Ndp(DesignPoint::B),
@@ -49,6 +49,13 @@ fn columns() -> [Column; 6] {
         Column::Ndp(DesignPoint::O),
         Column::Host,
         Column::Ndp(DesignPoint::R),
+        // Gather-aware variants: steals can be rate-limited, deferred
+        // past the byte budget, or forwarded task-only — the ledger
+        // and toArrive conservation laws must hold through all of it.
+        Column::Ndp(DesignPoint::WByte),
+        Column::Ndp(DesignPoint::WLent),
+        Column::Ndp(DesignPoint::WGather),
+        Column::Ndp(DesignPoint::OGather),
     ]
 }
 

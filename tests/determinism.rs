@@ -57,8 +57,8 @@ fn worker_count_is_observationally_invisible() {
     }
 }
 
-/// All six paper designs × two apps: the full matrix the sharded
-/// engine must keep byte-stable.
+/// All six paper designs plus the gather-aware policy toggles, × two
+/// apps: the full matrix the sharded engine must keep byte-stable.
 fn six_design_points() -> Vec<SweepPoint> {
     let cols = [
         Column::Ndp(DesignPoint::C),
@@ -67,6 +67,8 @@ fn six_design_points() -> Vec<SweepPoint> {
         Column::Ndp(DesignPoint::O),
         Column::Host,
         Column::Ndp(DesignPoint::R),
+        Column::Ndp(DesignPoint::WGather),
+        Column::Ndp(DesignPoint::OGather),
     ];
     ["tree", "spmv"]
         .iter()
@@ -111,7 +113,9 @@ fn cached_results_cross_shard_counts_both_ways() {
     // A result cached at shards=1 must be a hit at shards=4 and vice
     // versa: shard count is excluded from the config fingerprint, so
     // the point key — and therefore the on-disk cache entry — is
-    // shared.
+    // shared. Checked for a baseline design and for the gather-aware
+    // policy (whose extra knobs must not leak shard count into the
+    // fingerprint either).
     let simulated = |s: &Sweeper| {
         s.metrics()
             .live_report()
@@ -125,12 +129,15 @@ fn cached_results_cross_shard_counts_both_ways() {
             .unwrap_or(0)
     };
     let point = || {
-        vec![SweepPoint::new(
-            "tree",
-            Column::Ndp(DesignPoint::B),
-            cfg(),
-            Scale::Tiny,
-        )]
+        vec![
+            SweepPoint::new("tree", Column::Ndp(DesignPoint::B), cfg(), Scale::Tiny),
+            SweepPoint::new(
+                "tree",
+                Column::Ndp(DesignPoint::WGather),
+                cfg(),
+                Scale::Tiny,
+            ),
+        ]
     };
     for (store_shards, probe_shards) in [(1usize, 4usize), (4, 1)] {
         let dir = std::env::temp_dir().join(format!(
@@ -141,14 +148,14 @@ fn cached_results_cross_shard_counts_both_ways() {
 
         let writer = Sweeper::new(1).with_cache(&dir).with_shards(store_shards);
         let stored = serialize(&writer.run(point()));
-        assert_eq!(simulated(&writer), 1, "cold cache simulates once");
+        assert_eq!(simulated(&writer), 2, "cold cache simulates every point");
 
         let reader = Sweeper::new(1).with_cache(&dir).with_shards(probe_shards);
         let probed = serialize(&reader.run(point()));
         assert_eq!(
             hits(&reader),
-            1,
-            "shards={store_shards} entry must hit at shards={probe_shards}"
+            2,
+            "shards={store_shards} entries must hit at shards={probe_shards}"
         );
         assert_eq!(simulated(&reader), 0, "warm probe must not simulate");
         assert_eq!(probed, stored, "cache round-trip changed bytes");

@@ -49,16 +49,36 @@ fn columns() -> [Column; 6] {
     ]
 }
 
-fn golden_path(label: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(format!("{APP}_{label}.json"))
+/// The Small-tier suite: baseline stealing and the gather-aware policy
+/// (DESIGN.md §10), pinned at the scale where the policy's measured
+/// win is claimed. Kept to two columns so the release CI lane stays
+/// fast; the Tiny suite above covers the other designs.
+fn small_columns() -> [Column; 2] {
+    [
+        Column::Ndp(DesignPoint::W),
+        Column::Ndp(DesignPoint::WGather),
+    ]
 }
 
-fn simulate_all() -> Vec<RunResult> {
-    let points = columns()
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Golden file name for a column at a scale (Tiny keeps the historic
+/// un-prefixed names; other scales are prefixed).
+fn golden_name(scale: Scale, label: &str) -> String {
+    match scale {
+        Scale::Tiny => format!("{APP}_{label}"),
+        _ => format!("small_{APP}_{label}"),
+    }
+}
+
+fn simulate(cols: &[Column], scale: Scale) -> Vec<RunResult> {
+    let points = cols
         .iter()
-        .map(|&col| SweepPoint::new(APP, col, reference_cfg(), Scale::Tiny))
+        .map(|&col| SweepPoint::new(APP, col, reference_cfg(), scale))
         .collect();
     // Through the production sweep path, bounded to two workers.
     Sweeper::new(2).run(points)
@@ -119,14 +139,15 @@ fn diff_fields(golden: &RunResult, fresh: &RunResult) -> Vec<String> {
     d
 }
 
-#[test]
-fn designs_match_golden_references() {
+/// Runs one suite and returns human-readable failures (empty = clean).
+/// With `UPDATE_GOLDEN=1`, rewrites the reference documents instead.
+fn check_suite(cols: &[Column], scale: Scale) -> Vec<String> {
     let update = std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1");
-    let results = simulate_all();
+    let results = simulate(cols, scale);
     let mut failures = Vec::new();
-    for (col, fresh) in columns().iter().zip(&results) {
+    for (col, fresh) in cols.iter().zip(&results) {
         let label = col.label();
-        let path = golden_path(&label);
+        let path = golden_path(&golden_name(scale, &label));
         if update {
             std::fs::create_dir_all(path.parent().unwrap()).unwrap();
             std::fs::write(&path, encode_result(fresh)).unwrap();
@@ -153,6 +174,12 @@ fn designs_match_golden_references() {
             ));
         }
     }
+    failures
+}
+
+#[test]
+fn designs_match_golden_references() {
+    let failures = check_suite(&columns(), Scale::Tiny);
     assert!(
         failures.is_empty(),
         "simulation drift vs tests/golden (if intentional, regenerate with \
@@ -162,13 +189,39 @@ fn designs_match_golden_references() {
 }
 
 #[test]
+fn small_tier_designs_match_golden_references() {
+    // Small runs are ~12x Tiny; keep them out of the debug tier-1 lane
+    // (ci.sh covers them in release). UPDATE_GOLDEN regeneration also
+    // happens in release for the same reason.
+    if cfg!(debug_assertions) {
+        return;
+    }
+    let failures = check_suite(&small_columns(), Scale::Small);
+    assert!(
+        failures.is_empty(),
+        "Small-tier simulation drift vs tests/golden (if intentional, regenerate \
+         with UPDATE_GOLDEN=1 cargo test --release --test golden_runs and commit):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
 fn golden_references_are_exact_roundtrips() {
     // Guard the guard: every committed document must decode and
     // re-encode to the identical byte string.
-    for col in columns() {
-        let path = golden_path(&col.label());
+    let mut names: Vec<String> = columns()
+        .iter()
+        .map(|c| golden_name(Scale::Tiny, &c.label()))
+        .collect();
+    names.extend(
+        small_columns()
+            .iter()
+            .map(|c| golden_name(Scale::Small, &c.label())),
+    );
+    for name in names {
+        let path = golden_path(&name);
         let Ok(text) = std::fs::read_to_string(&path) else {
-            // `designs_match_golden_references` reports missing files.
+            // The suite tests report missing files.
             continue;
         };
         let decoded = decode_result(&text).expect("golden decodes");
