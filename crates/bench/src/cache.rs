@@ -157,6 +157,9 @@ pub fn decode_result(text: &str) -> Option<RunResult> {
             .collect::<Option<Vec<u64>>>()?,
         metrics,
         trace: Vec::new(),
+        // Cache hits replay a past run; parallel-engine wall-clock
+        // stats describe only the run that produced them.
+        parallel: None,
     })
 }
 

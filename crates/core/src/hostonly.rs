@@ -273,6 +273,7 @@ impl HostOnly {
             per_unit_busy: self.worker_busy.iter().map(|b| b.total().ticks()).collect(),
             metrics: ndpb_trace::MetricsReport::default(),
             trace: Vec::new(),
+            parallel: None,
         }
     }
 }

@@ -27,6 +27,7 @@ pub mod epoch;
 pub mod fasthash;
 pub mod hostonly;
 pub mod metadata;
+pub(crate) mod parallel;
 pub mod result;
 pub mod steal;
 pub mod system;
@@ -35,5 +36,5 @@ pub mod unit;
 pub use audit::{AuditLevel, Violation};
 pub use config::{SystemConfig, TriggerPolicy};
 pub use design::{CommPath, DesignPoint, LbPolicy};
-pub use result::RunResult;
+pub use result::{ParallelStats, RunResult};
 pub use system::System;

@@ -1,0 +1,690 @@
+//! Lane-local execution for the windowed parallel engine.
+//!
+//! A [`Lane`] owns one shard's slice of the system — its units, its
+//! rank bridges and a pop-only view of its timer wheel — and replays
+//! the *unit-class* event handlers ([`Ev::CoreWake`], [`Ev::TaskDone`],
+//! [`Ev::Deliver`]) for one conservative window, concurrently with the
+//! other lanes. The ports in this module mirror the serial handlers in
+//! `system.rs` exactly, with every touch of shared state replaced by
+//! one of three mechanisms:
+//!
+//! * **Deferred commutative deltas** — metric counters, epoch
+//!   spawn/completion counts, `toArrive` settles (saturating
+//!   subtraction chains) and host borrow-table removals are recorded in
+//!   the [`LaneResult`] and applied at the window barrier. Each is
+//!   provably order-independent, so the merged result is byte-identical
+//!   to the serial interleaving.
+//! * **Causal positions** — events the lane *creates* are stamped with
+//!   a [`Pos`]: a lexicographic encoding of (time, creating event's
+//!   position, creation index). Position order equals the order in
+//!   which the serial engine would have allocated their global sequence
+//!   numbers, so same-lane creations can be consumed in-lane in exact
+//!   serial order, and barrier-surviving creations from different lanes
+//!   can be merged and re-scheduled in exact serial order.
+//! * **Stop keys** — a gather/scatter round request
+//!   ([`Ev::RankRound`]) must run on the leader, so posting one shrinks
+//!   the lane's own stop position to the request: nothing at or past
+//!   the round is executed locally. Global-class events already staged
+//!   on the leader's heap bound every lane's window the same way.
+//!
+//! See `DESIGN.md` §9 for the full soundness argument.
+
+use std::sync::Mutex;
+
+use ndpb_dram::{AddressMap, BlockAddr, UnitId};
+use ndpb_proto::message::DataMessage;
+use ndpb_proto::Message;
+use ndpb_sim::{ShardLane, SimTime, TICKS_PER_CORE_CYCLE};
+use ndpb_tasks::{Application, ExecCtx, Task, Timestamp};
+use ndpb_trace::ComponentId;
+
+use crate::bridge::RankBridge;
+use crate::config::{SystemConfig, TriggerPolicy};
+use crate::design::LbPolicy;
+use crate::epoch::EpochTracker;
+use crate::system::{CommCause, Ev, SramCause, MAILBOX_ROW, TASKQ_ROW};
+use crate::unit::NdpUnit;
+
+/// A causal position: the total order in which the serial engine would
+/// have allocated global sequence numbers.
+///
+/// Encoding (lexicographic `u64` comparison):
+/// * a pre-window wheel event with key `(t, seq)` sits at `[t, 0, seq]`;
+/// * an event created at time `at` by the handler running at position
+///   `p`, as that handler's `i`-th creation, sits at
+///   `[at, 1] ++ p ++ [i]`.
+///
+/// Time-major comparison reproduces pop order; the `0`/`1` marker
+/// encodes that every pre-window sequence number is smaller than every
+/// in-window-allocated one; and recursing into the creator's position
+/// reproduces the allocation order of fresh sequence numbers, because
+/// sequence numbers are handed out in handler execution order.
+pub(crate) type Pos = Vec<u64>;
+
+/// Builds the position of a pre-window event key.
+#[inline]
+pub(crate) fn key_pos(key: (SimTime, u64)) -> Pos {
+    vec![key.0.ticks(), 0, key.1]
+}
+
+/// `key < pos` for a pre-window wheel key against an arbitrary
+/// position, without materialising the key's own position vector.
+#[inline]
+fn key_lt_pos(key: (SimTime, u64), pos: &[u64]) -> bool {
+    let k = [key.0.ticks(), 0, key.1];
+    k.as_slice() < pos
+}
+
+/// An event created during a window, carrying the causal position that
+/// fixes its serial schedule order.
+pub(crate) struct PendingEv {
+    /// Creation position (see [`Pos`]).
+    pub pos: Pos,
+    /// Simulation time the event fires.
+    pub at: SimTime,
+    /// The event itself.
+    pub ev: Ev,
+}
+
+impl PartialEq for PendingEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.pos == other.pos
+    }
+}
+impl Eq for PendingEv {}
+impl PartialOrd for PendingEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingEv {
+    /// Reversed, so `BinaryHeap` yields the smallest position first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.pos.cmp(&self.pos)
+    }
+}
+
+/// Everything a lane hands back at the window barrier.
+pub(crate) struct LaneResult {
+    /// Wheel bookkeeping for [`ShardedEventQueue::absorb_lanes`]
+    /// (`ndpb_sim::ShardedEventQueue`).
+    pub outcome: ndpb_sim::LaneOutcome,
+    /// Created-but-unconsumed events (including round requests), to be
+    /// merged across lanes by position and re-scheduled by the leader.
+    pub leftovers: Vec<PendingEv>,
+    /// Communication-DRAM bytes by [`CommCause`] row.
+    pub comm: [u64; 10],
+    /// SRAM staging bytes by [`SramCause`] row.
+    pub sram: [u64; 6],
+    /// Messages delivered (the `system/msgs_delivered` metric).
+    pub msgs_delivered: u64,
+    /// Task spawns per epoch, deferred for the barrier.
+    pub spawns: Vec<(Timestamp, u64)>,
+    /// Task completions per epoch, deferred for the barrier (the
+    /// per-lane completion budget guarantees none drains its epoch).
+    pub completions: Vec<(Timestamp, u64)>,
+    /// Deferred `toArrive` settles: `(intended rank, local unit,
+    /// workload)`, applied as saturating subtractions at the barrier.
+    pub settles: Vec<(usize, usize, u64)>,
+    /// Blocks whose host borrow-table entry must be removed.
+    pub host_removed: Vec<BlockAddr>,
+    /// Wall-clock nanoseconds this lane ran (for barrier-stall stats).
+    pub wall_ns: u64,
+}
+
+/// One shard's execution lane for a single parallel window.
+pub(crate) struct Lane<'a> {
+    shards: usize,
+    upr: usize,
+    cfg: &'a SystemConfig,
+    map: &'a AddressMap,
+    lb: LbPolicy,
+    epochs: &'a EpochTracker,
+    app: &'a Mutex<&'a mut Box<dyn Application>>,
+    units: Vec<&'a mut NdpUnit>,
+    bridges: Vec<&'a mut RankBridge>,
+    wheel: ShardLane<'a, Ev>,
+    /// Stop position: strictly-before bound on what this lane may
+    /// execute. Shrunk when the lane posts a round request.
+    stop: Pos,
+    /// `TaskDone` dispatches this lane may still perform before its
+    /// share of the epoch's outstanding count is exhausted.
+    budget: u64,
+    /// Pending events created this window, consumable in-lane.
+    pending: std::collections::BinaryHeap<PendingEv>,
+    /// Round requests (and, after the run, leftovers) crossing the
+    /// barrier.
+    crossing: Vec<PendingEv>,
+    /// Position of the event currently being dispatched.
+    cur_pos: Pos,
+    /// Creation counter within the current handler.
+    cur_idx: u64,
+    /// Lane-local clock: time of the event being dispatched.
+    now: SimTime,
+    exec_ctx: ExecCtx,
+    spawn_pool: Vec<Vec<Task>>,
+    // ---- deferred deltas ----
+    comm: [u64; 10],
+    sram: [u64; 6],
+    msgs_delivered: u64,
+    spawns: Vec<(Timestamp, u64)>,
+    completions: Vec<(Timestamp, u64)>,
+    settles: Vec<(usize, usize, u64)>,
+    host_removed: Vec<BlockAddr>,
+}
+
+impl<'a> Lane<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        wheel: ShardLane<'a, Ev>,
+        units: Vec<&'a mut NdpUnit>,
+        bridges: Vec<&'a mut RankBridge>,
+        cfg: &'a SystemConfig,
+        map: &'a AddressMap,
+        lb: LbPolicy,
+        epochs: &'a EpochTracker,
+        app: &'a Mutex<&'a mut Box<dyn Application>>,
+        shards: usize,
+        stop: Pos,
+        budget: u64,
+        seeds: Vec<PendingEv>,
+    ) -> Self {
+        Lane {
+            shards,
+            upr: cfg.geometry.units_per_rank() as usize,
+            cfg,
+            map,
+            lb,
+            epochs,
+            app,
+            units,
+            bridges,
+            now: wheel.now,
+            wheel,
+            stop,
+            budget,
+            // Staged survivors from earlier windows seed the pending
+            // heap; they carry their original causal positions and
+            // interleave with the wheel slice like any in-window
+            // creation.
+            pending: std::collections::BinaryHeap::from(seeds),
+            crossing: Vec::new(),
+            cur_pos: Vec::new(),
+            cur_idx: 0,
+            exec_ctx: ExecCtx::new(UnitId(0)),
+            spawn_pool: Vec::new(),
+            comm: [0; 10],
+            sram: [0; 6],
+            msgs_delivered: 0,
+            spawns: Vec::new(),
+            completions: Vec::new(),
+            settles: Vec::new(),
+            host_removed: Vec::new(),
+        }
+    }
+
+    /// Lane-local index of global unit `u` (ranks are dealt to shards
+    /// round-robin; each contributes a contiguous `upr` block).
+    #[inline]
+    fn lu(&self, u: usize) -> usize {
+        (u / self.upr / self.shards) * self.upr + (u % self.upr)
+    }
+
+    /// Lane-local index of global rank `r`.
+    #[inline]
+    fn lr(&self, r: usize) -> usize {
+        r / self.shards
+    }
+
+    #[inline]
+    fn local_index(&self, u: usize) -> usize {
+        u % self.upr
+    }
+
+    /// Records an in-window event creation at its causal position.
+    fn pend(&mut self, at: SimTime, ev: Ev) {
+        let mut pos = Vec::with_capacity(self.cur_pos.len() + 3);
+        pos.push(at.ticks());
+        pos.push(1);
+        pos.extend_from_slice(&self.cur_pos);
+        pos.push(self.cur_idx);
+        self.cur_idx += 1;
+        self.pending.push(PendingEv { pos, at, ev });
+    }
+
+    /// Posts a round request: it must execute on the leader, so it
+    /// crosses the barrier and caps this lane's window at its position.
+    fn pend_crossing(&mut self, at: SimTime, ev: Ev) {
+        let mut pos = Vec::with_capacity(self.cur_pos.len() + 3);
+        pos.push(at.ticks());
+        pos.push(1);
+        pos.extend_from_slice(&self.cur_pos);
+        pos.push(self.cur_idx);
+        self.cur_idx += 1;
+        if pos < self.stop {
+            self.stop = pos.clone();
+        }
+        self.crossing.push(PendingEv { pos, at, ev });
+    }
+
+    fn note_spawn(&mut self, ts: Timestamp) {
+        match self.spawns.iter_mut().find(|(t, _)| *t == ts) {
+            Some((_, n)) => *n += 1,
+            None => self.spawns.push((ts, 1)),
+        }
+    }
+
+    fn note_completion(&mut self, ts: Timestamp) {
+        match self.completions.iter_mut().find(|(t, _)| *t == ts) {
+            Some((_, n)) => *n += 1,
+            None => self.completions.push((ts, 1)),
+        }
+    }
+
+    #[inline]
+    fn charge_comm(&mut self, cause: CommCause, bytes: u64) {
+        self.comm[cause as usize] += bytes;
+    }
+
+    #[inline]
+    fn charge_sram(&mut self, cause: SramCause, bytes: u64) {
+        self.sram[cause as usize] += bytes;
+    }
+
+    /// Drains the lane up to its stop position (or completion budget)
+    /// and returns the barrier payload.
+    pub(crate) fn run(mut self) -> LaneResult {
+        let t0 = std::time::Instant::now();
+        loop {
+            // Pick the smaller of the wheel head and the pending head
+            // by position; break when it reaches the stop.
+            let from_wheel = {
+                let wk = self.wheel.peek_key();
+                let pp = self.pending.peek().map(|p| p.pos.as_slice());
+                match (wk, pp) {
+                    (None, None) => break,
+                    (Some(k), None) => {
+                        if !key_lt_pos(k, &self.stop) {
+                            break;
+                        }
+                        true
+                    }
+                    (None, Some(p)) => {
+                        if p >= self.stop.as_slice() {
+                            break;
+                        }
+                        false
+                    }
+                    (Some(k), Some(p)) => {
+                        if key_lt_pos(k, p) {
+                            if !key_lt_pos(k, &self.stop) {
+                                break;
+                            }
+                            true
+                        } else {
+                            if p >= self.stop.as_slice() {
+                                break;
+                            }
+                            false
+                        }
+                    }
+                }
+            };
+            let (at, ev) = if from_wheel {
+                let (at, seq, ev) = self.wheel.pop().expect("non-empty wheel head");
+                self.cur_pos.clear();
+                self.cur_pos.extend_from_slice(&[at.ticks(), 0, seq]);
+                (at, ev)
+            } else {
+                let p = self.pending.pop().expect("non-empty pending head");
+                // The wheel view's clock and pop counter track lane
+                // progress for the queue's absorb step; a consumed
+                // pending is a pop the serial engine would have done.
+                self.wheel.now = p.at;
+                self.wheel.popped += 1;
+                self.cur_pos = p.pos;
+                (p.at, p.ev)
+            };
+            self.now = at;
+            self.cur_idx = 0;
+            let was_task_done = matches!(ev, Ev::TaskDone(..));
+            match ev {
+                Ev::CoreWake(u) => self.on_core_wake(u as usize),
+                Ev::TaskDone(u, task, children) => self.on_task_done(u as usize, task, children),
+                Ev::Deliver(u, msg) => self.on_deliver(u as usize, msg),
+                other => unreachable!("global-class event {other:?} reached a lane"),
+            }
+            if was_task_done {
+                self.budget -= 1;
+                if self.budget == 0 {
+                    break;
+                }
+            }
+        }
+        // Unconsumed pendings join the round requests as leftovers.
+        let mut leftovers = self.crossing;
+        leftovers.extend(self.pending.into_sorted_vec());
+        LaneResult {
+            outcome: self.wheel.finish(),
+            leftovers,
+            comm: self.comm,
+            sram: self.sram,
+            msgs_delivered: self.msgs_delivered,
+            spawns: self.spawns,
+            completions: self.completions,
+            settles: self.settles,
+            host_removed: self.host_removed,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+        }
+    }
+
+    // ---- handler ports (mirror system.rs; keep in sync) -------------------
+
+    fn wake_unit(&mut self, u: usize, at: SimTime) {
+        let lu = self.lu(u);
+        let unit = &mut self.units[lu];
+        if unit.wake_scheduled {
+            return;
+        }
+        unit.wake_scheduled = true;
+        let at = at.max(self.now);
+        self.pend(at, Ev::CoreWake(u as u32));
+    }
+
+    fn on_core_wake(&mut self, u: usize) {
+        let lu = self.lu(u);
+        self.units[lu].wake_scheduled = false;
+        let now = self.now;
+        if now < self.units[lu].core_free_at {
+            let at = self.units[lu].core_free_at;
+            self.wake_unit(u, at);
+            return;
+        }
+        if !self.units[lu].pending_out.is_empty() {
+            self.flush_pending_out(u);
+            if !self.units[lu].pending_out.is_empty() {
+                self.units[lu].stats.mailbox_stalls.inc();
+                return;
+            }
+        }
+        let Some(task) = ({
+            let map = self.map;
+            self.units[lu].pop_task(map)
+        }) else {
+            return;
+        };
+        let block = self.map.block_of(task.data);
+        if !self.units[lu].holds_block(block, self.map) {
+            self.units[lu].stats.tasks_rerouted.inc();
+            let msg = Message::Task(task, None);
+            self.emit_message(u, msg, now);
+            self.wake_unit(u, now);
+            return;
+        }
+        if self.units[lu].is_borrowed(block) {
+            self.units[lu].touch_borrow(block);
+        }
+        let spawn_buf = self.spawn_pool.pop().unwrap_or_default();
+        self.exec_ctx.reset(self.units[lu].id, spawn_buf);
+        {
+            let mut app = self.app.lock().expect("application lock poisoned");
+            app.execute(&task, &mut self.exec_ctx);
+        }
+        let ctx = &self.exec_ctx;
+        let mut t = now + SimTime::from_ticks(ctx.compute_cycles() * TICKS_PER_CORE_CYCLE);
+        let timing = &self.cfg.timing;
+        let comp = ComponentId::Unit(u as u32);
+        {
+            let unit = &mut self.units[lu];
+            for &(addr, bytes) in ctx.reads() {
+                let row = self.map.row_of(addr);
+                t = unit
+                    .bank
+                    .access_traced(t, row, bytes, false, timing, comp, None)
+                    .end;
+                unit.stats.dram_local_bytes.add(bytes as u64);
+            }
+            for &(addr, bytes) in ctx.writes() {
+                let row = self.map.row_of(addr);
+                t = unit
+                    .bank
+                    .access_traced(t, row, bytes, true, timing, comp, None)
+                    .end;
+                unit.stats.dram_local_bytes.add(bytes as u64);
+            }
+            unit.core_free_at = t;
+            unit.stats.busy.record(now, t);
+            unit.stats.last_finish = t;
+            unit.stats.tasks_executed.inc();
+            unit.add_finished(task.workload_or_default());
+        }
+        let children = self.exec_ctx.take_spawned();
+        for c in &children {
+            self.note_spawn(c.ts);
+        }
+        self.pend(t, Ev::TaskDone(u as u32, task, children));
+    }
+
+    fn on_task_done(&mut self, u: usize, task: Task, mut children: Vec<Task>) {
+        let now = self.now;
+        for child in children.drain(..) {
+            self.route_spawn(u, child, now);
+        }
+        self.spawn_pool.push(children);
+        // The serial handler's epoch-advance and all-done branches
+        // cannot fire inside a window: the lane completion budgets sum
+        // to strictly less than the epoch's outstanding count.
+        self.note_completion(task.ts);
+        self.wake_unit(u, now);
+    }
+
+    fn route_spawn(&mut self, u: usize, task: Task, now: SimTime) {
+        let lu = self.lu(u);
+        let block = self.map.block_of(task.data);
+        if self.units[lu].holds_block(block, self.map) {
+            self.charge_comm(CommCause::Taskq, task.wire_bytes() as u64);
+            let timing = &self.cfg.timing;
+            let unit = &mut self.units[lu];
+            unit.bank.access_traced(
+                now,
+                TASKQ_ROW,
+                task.wire_bytes(),
+                true,
+                timing,
+                ComponentId::Unit(u as u32),
+                None,
+            );
+            let hot = self.lb.hot_data;
+            if self.epochs.is_ready(task.ts) {
+                let map = self.map;
+                unit.enqueue_ready(task, hot, map);
+                self.wake_unit(u, now);
+            } else {
+                unit.enqueue_future(task);
+            }
+            return;
+        }
+        // Lanes only run under CommPath::Bridges (admission), so the
+        // serial handler's RowClone fast path is unreachable here.
+        self.emit_message(u, Message::Task(task, None), now);
+    }
+
+    fn emit_message(&mut self, u: usize, msg: Message, now: SimTime) {
+        let lu = self.lu(u);
+        let bytes = msg.wire_bytes();
+        let cause = match &msg {
+            Message::Task(_, None) => CommCause::MailTask,
+            Message::Task(_, Some(_)) => CommCause::MailSched,
+            Message::Data(dm, dest) => {
+                if *dest == Some(self.map.block_home(dm.block)) {
+                    CommCause::MailReturn
+                } else {
+                    CommCause::MailData
+                }
+            }
+            Message::State(_) => CommCause::MailTask,
+        };
+        self.charge_comm(cause, bytes as u64);
+        let timing = &self.cfg.timing;
+        let comp = ComponentId::Unit(u as u32);
+        let unit = &mut self.units[lu];
+        unit.bank
+            .access_traced(now, MAILBOX_ROW, bytes, true, timing, comp, None);
+        unit.stats.msgs_emitted.inc();
+        if !unit.pending_out.is_empty() {
+            unit.pending_out.push_back(msg);
+        } else if let Some(back) = unit.mailbox.try_push_traced(msg, now, comp, None) {
+            unit.pending_out.push_back(back);
+            unit.stats.mailbox_stalls.inc();
+        }
+        // consider_comm: lanes run only under CommPath::Bridges.
+        let r = self.cfg.geometry.rank_of(self.units[lu].id).index();
+        self.consider_rank_round(r, now);
+    }
+
+    /// Port of the serial trigger logic; instead of scheduling the
+    /// round directly it posts a barrier-crossing request (rounds are
+    /// leader work) and caps this lane's window at the request.
+    fn consider_rank_round(&mut self, r: usize, now: SimTime) {
+        let lrr = self.lr(r);
+        if self.bridges[lrr].round_scheduled {
+            return;
+        }
+        let base = lrr * self.upr;
+        let n = self.upr;
+        let units = &self.units[base..base + n];
+        let any_msgs =
+            units.iter().any(|u| !u.mailbox.is_empty()) || self.bridges[lrr].has_pending_output();
+        let at = match self.cfg.trigger {
+            TriggerPolicy::Dynamic => {
+                if !any_msgs {
+                    return;
+                }
+                let big = units
+                    .iter()
+                    .any(|u| u.mailbox.bytes_used() >= self.cfg.g_xfer as u64);
+                let pending_scatter = (0..n).any(|i| self.bridges[lrr].scatter_pending(i) > 0)
+                    || self.bridges[lrr].backup_pending() > 0;
+                if big || pending_scatter {
+                    if self.bridges[lrr].last_round_idle {
+                        now.max(self.bridges[lrr].last_round_end + self.cfg.i_min())
+                    } else {
+                        now.max(self.bridges[lrr].last_round_end)
+                    }
+                } else {
+                    let idle = units.iter().any(|u| u.queue_workload() == 0);
+                    if idle {
+                        now.max(self.bridges[lrr].last_round_start + self.cfg.i_min())
+                            .max(self.bridges[lrr].last_round_end)
+                    } else {
+                        return;
+                    }
+                }
+            }
+            TriggerPolicy::FixedIMin => now
+                .max(self.bridges[lrr].last_round_start + self.cfg.i_min())
+                .max(self.bridges[lrr].last_round_end),
+            TriggerPolicy::Fixed2IMin => {
+                let two = self.cfg.i_min() + self.cfg.i_min();
+                now.max(self.bridges[lrr].last_round_start + two)
+                    .max(self.bridges[lrr].last_round_end)
+            }
+        };
+        self.bridges[lrr].round_scheduled = true;
+        self.pend_crossing(at, Ev::RankRound(r as u32));
+    }
+
+    fn flush_pending_out(&mut self, u: usize) {
+        let lu = self.lu(u);
+        let now = self.now;
+        let comp = ComponentId::Unit(u as u32);
+        let unit = &mut self.units[lu];
+        while let Some(front) = unit.pending_out.pop_front() {
+            if let Some(back) = unit.mailbox.try_push_traced(front, now, comp, None) {
+                unit.pending_out.push_front(back);
+                break;
+            }
+        }
+        if unit.pending_out.is_empty() {
+            self.wake_unit(u, now);
+        }
+    }
+
+    fn on_deliver(&mut self, u: usize, msg: Message) {
+        let lu = self.lu(u);
+        let now = self.now;
+        self.msgs_delivered += 1;
+        self.units[lu].stats.msgs_received.inc();
+        match msg {
+            Message::Task(task, scheduled) => {
+                if let Some(intended) = scheduled {
+                    // toArrive settles touch the intended receiver's
+                    // rank — possibly another shard — so they are
+                    // deferred (saturating subtractions commute).
+                    let wl = task.workload_or_default();
+                    let ir = self.cfg.geometry.rank_of(intended).index();
+                    let il = self.local_index(intended.index());
+                    self.settles.push((ir, il, wl));
+                }
+                let block = self.map.block_of(task.data);
+                if !self.units[lu].holds_block(block, self.map) {
+                    self.units[lu].stats.tasks_rerouted.inc();
+                    self.emit_message(u, Message::Task(task, None), now);
+                    return;
+                }
+                let hot = self.lb.hot_data;
+                if self.epochs.is_ready(task.ts) {
+                    let map = self.map;
+                    self.units[lu].enqueue_ready(task, hot, map);
+                    self.wake_unit(u, now);
+                } else {
+                    self.units[lu].enqueue_future(task);
+                }
+            }
+            Message::Data(dm, _dest) => {
+                let home = self.map.block_home(dm.block);
+                if home.index() == u {
+                    self.units[lu].is_lent.clear(dm.block);
+                    self.wake_unit(u, now);
+                } else {
+                    let uid = self.units[lu].id;
+                    let r = self.cfg.geometry.rank_of(uid).index();
+                    let stale =
+                        self.bridges[self.lr(r)].data_borrowed.peek(&dm.block) != Some(&uid);
+                    if stale {
+                        self.return_block_home(u, dm.block, now);
+                    } else {
+                        self.admit_borrowed_block(u, dm, now);
+                    }
+                }
+            }
+            Message::State(_) => {}
+        }
+    }
+
+    fn admit_borrowed_block(&mut self, u: usize, dm: DataMessage, now: SimTime) {
+        let lu = self.lu(u);
+        let evicted = self.units[lu].admit_borrow(dm.block);
+        self.charge_sram(SramCause::BorrowMeta, 16);
+        if let Some(victim) = evicted {
+            self.return_block_home(u, victim, now);
+        }
+    }
+
+    fn return_block_home(&mut self, u: usize, block: BlockAddr, now: SimTime) {
+        let lu = self.lu(u);
+        let home = self.map.block_home(block);
+        let my_rank = self.cfg.geometry.rank_of(self.units[lu].id);
+        let lbr = self.lr(my_rank.index());
+        self.bridges[lbr].data_borrowed.remove(&block);
+        // The host-level entry lives on the leader; removals of
+        // distinct keys commute, so defer it to the barrier.
+        self.host_removed.push(block);
+        let dm = DataMessage {
+            block,
+            bytes: self.cfg.g_xfer,
+            workload: 0,
+        };
+        self.emit_message(u, Message::Data(dm, Some(home)), now);
+    }
+}

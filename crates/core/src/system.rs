@@ -22,14 +22,14 @@ use crate::bridge::{HostBridge, RankBridge};
 use crate::config::{w_threshold, SystemConfig, TriggerPolicy};
 use crate::design::{CommPath, DesignPoint, LbPolicy};
 use crate::epoch::EpochTracker;
-use crate::result::RunResult;
+use crate::result::{ParallelStats, RunResult};
 use crate::steal;
 use crate::unit::{NdpUnit, ScheduledBlock};
 
 /// Synthetic row ids for controller-managed bank regions (beyond the
 /// data rows, like the paper's reserved addresses).
-const MAILBOX_ROW: u64 = 1 << 21;
-const TASKQ_ROW: u64 = (1 << 21) + 1;
+pub(crate) const MAILBOX_ROW: u64 = 1 << 21;
+pub(crate) const TASKQ_ROW: u64 = (1 << 21) + 1;
 const BORROW_ROW: u64 = (1 << 21) + 2;
 
 /// Hard event cap: a correctness watchdog against livelock, far above
@@ -37,7 +37,7 @@ const BORROW_ROW: u64 = (1 << 21) + 2;
 const MAX_EVENTS: u64 = 2_000_000_000;
 
 #[derive(Debug)]
-enum Ev {
+pub(crate) enum Ev {
     /// Wake a unit's core to execute the next task.
     CoreWake(u32),
     /// A task finished executing at a unit; deliver its children.
@@ -118,6 +118,82 @@ pub struct System {
     /// Free list of spawn `Vec`s cycling between [`Ev::TaskDone`] events
     /// and [`Self::exec_ctx`].
     spawn_pool: Vec<Vec<Task>>,
+    /// Whether the windowed parallel engine is driving this run. When
+    /// set, global-class events (rounds, state polls, link traffic)
+    /// live on [`Self::gq`] instead of the wheels, so the wheels hold
+    /// only unit-class events a lane may drain.
+    windowed: bool,
+    /// Leader-owned staging heap for global-class events in windowed
+    /// mode, ordered by the same `(time, seq)` key as the wheels (seqs
+    /// come from the queue's single counter via `alloc_seq`).
+    gq: std::collections::BinaryHeap<GEntry>,
+    /// Unit-class window-survivor creations held back at barriers
+    /// until every causally-preceding event has executed. They keep
+    /// their original causal positions forever: the next window seeds
+    /// them back into their shard's pending heap, and between windows
+    /// the leader dispatches one directly whenever it is the global
+    /// minimum (DESIGN.md §9: the staging buffer). Re-stamping them
+    /// through the wheel would erase the mid-tick coordinates other
+    /// survivors still compare against.
+    staged: std::collections::BinaryHeap<crate::parallel::PendingEv>,
+    /// Global-class window survivors (round requests crossing a
+    /// barrier). Same protocol as `staged`, but they can never be
+    /// seeded into a lane, so the earliest one caps the next window's
+    /// stop instead.
+    staged_g: std::collections::BinaryHeap<crate::parallel::PendingEv>,
+    /// Causal position of the event the leader is currently
+    /// dispatching (empty outside a dispatch). Lets [`Self::sched`]
+    /// stamp positions on creations that must queue behind staged
+    /// survivors.
+    dispatch_pos: Vec<u64>,
+    /// Creation counter within the current leader dispatch (the `i` in
+    /// the position encoding, mirroring a lane's per-handler counter).
+    dispatch_births: u64,
+    /// Parallel-execution statistics, populated by the windowed engine
+    /// and surfaced as [`RunResult::parallel`].
+    pstats: Option<ParallelStats>,
+}
+
+/// A global-class event staged on [`System::gq`] in windowed mode.
+/// Ordered by `(at, seq)` — *reversed*, so `BinaryHeap`'s max-heap
+/// yields the smallest key first, matching wheel pop order exactly.
+struct GEntry {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for GEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for GEntry {}
+impl PartialOrd for GEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for GEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Whether an event is global-class: its handler may touch state
+/// outside one rank's shard (host bridge, cross-rank tables, buses of
+/// other ranks), so the windowed engine always runs it on the leader
+/// between windows.
+fn is_global_class(ev: &Ev) -> bool {
+    matches!(
+        ev,
+        Ev::RankState(_)
+            | Ev::RankRound(_)
+            | Ev::HostState
+            | Ev::HostRound
+            | Ev::LinkRound(_)
+            | Ev::LinkDeliver(..)
+    )
 }
 
 /// Per-cause attribution of communication-DRAM traffic. Every byte
@@ -125,7 +201,7 @@ pub struct System {
 /// cause (via [`System::charge_comm`]), so the ledger rows sum to the
 /// total — an equality the auditor checks.
 #[derive(Debug, Clone, Copy)]
-enum CommCause {
+pub(crate) enum CommCause {
     /// Local in-DRAM task-queue appends (same-unit spawns).
     Taskq,
     /// RowClone bank-to-bank copies (design R).
@@ -166,7 +242,7 @@ impl CommCause {
 /// Per-cause attribution of SRAM staging traffic (the
 /// `system/sram_staged_bytes` counterpart of [`CommCause`]).
 #[derive(Debug, Clone, Copy)]
-enum SramCause {
+pub(crate) enum SramCause {
     /// Borrowed-region metadata updates on block admission.
     BorrowMeta,
     /// Messages staged into bridge buffers during gathers.
@@ -476,6 +552,13 @@ impl System {
             vec_pool: Vec::new(),
             exec_ctx: ExecCtx::new(ndpb_dram::UnitId(0)),
             spawn_pool: Vec::new(),
+            windowed: false,
+            gq: std::collections::BinaryHeap::new(),
+            staged: std::collections::BinaryHeap::new(),
+            staged_g: std::collections::BinaryHeap::new(),
+            dispatch_pos: Vec::new(),
+            dispatch_births: 0,
+            pstats: None,
         }
     }
 
@@ -563,8 +646,50 @@ impl System {
 
     /// Schedules `ev` at `at` on its affinity shard (see
     /// [`Self::shard_of`]).
+    ///
+    /// In windowed mode, global-class events go to the leader's staging
+    /// heap instead of the wheels, stamped from the same sequence
+    /// counter so `(time, seq)` order across both populations is
+    /// exactly what one queue would have produced.
     #[inline]
     fn sched(&mut self, at: SimTime, ev: Ev) {
+        if self.windowed {
+            // A leader creation firing at or after a still-staged
+            // survivor's tick must queue behind it: the survivor may
+            // share its fire tick, and the serial engine scheduled the
+            // survivor first (its creator executed before this
+            // dispatch). Stage it at its own causal position so the
+            // release loop stamps both in serial order. Survivors
+            // firing strictly later can never collide on a tick, so
+            // everything else stamps immediately.
+            let staged_at = match (self.staged.peek(), self.staged_g.peek()) {
+                (None, None) => None,
+                (Some(s), None) | (None, Some(s)) => Some(s.at),
+                (Some(a), Some(b)) => Some(a.at.min(b.at)),
+            };
+            if !self.dispatch_pos.is_empty() && staged_at.is_some_and(|m| m <= at) {
+                let mut pos = Vec::with_capacity(self.dispatch_pos.len() + 3);
+                pos.push(at.ticks());
+                pos.push(1);
+                pos.extend_from_slice(&self.dispatch_pos);
+                pos.push(self.dispatch_births);
+                self.dispatch_births += 1;
+                let p = crate::parallel::PendingEv { pos, at, ev };
+                if is_global_class(&p.ev) {
+                    self.staged_g.push(p);
+                } else {
+                    self.staged.push(p);
+                }
+                return;
+            }
+            self.dispatch_births += 1;
+            if is_global_class(&ev) {
+                debug_assert!(at >= self.q.now());
+                let seq = self.q.alloc_seq();
+                self.gq.push(GEntry { at, seq, ev });
+                return;
+            }
+        }
         let shard = self.shard_of(&ev);
         self.q.schedule(at, shard, ev);
     }
@@ -612,8 +737,26 @@ impl System {
         &self.map
     }
 
+    /// Dispatches one event to its handler.
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::CoreWake(u) => self.on_core_wake(u as usize),
+            Ev::TaskDone(u, task, children) => self.on_task_done(u as usize, task, children),
+            Ev::Deliver(u, msg) => self.on_deliver(u as usize, msg),
+            Ev::RankState(r) => self.on_rank_state(r as usize),
+            Ev::RankRound(r) => self.on_rank_round(r as usize),
+            Ev::HostState => self.on_host_state(),
+            Ev::HostRound => self.on_host_round(),
+            Ev::LinkRound(r) => self.on_link_round(r as usize),
+            Ev::LinkDeliver(r, msg) => self.on_link_deliver(r as usize, msg),
+        }
+    }
+
     /// Runs the application to completion and returns the metrics.
     pub fn run(mut self) -> RunResult {
+        if self.parallel_admissible() {
+            return self.run_windowed();
+        }
         self.inject_initial();
         // An application with no tasks is already done; don't arm the
         // periodic machinery at all.
@@ -684,17 +827,7 @@ impl System {
                     host,
                 );
             }
-            match ev {
-                Ev::CoreWake(u) => self.on_core_wake(u as usize),
-                Ev::TaskDone(u, task, children) => self.on_task_done(u as usize, task, children),
-                Ev::Deliver(u, msg) => self.on_deliver(u as usize, msg),
-                Ev::RankState(r) => self.on_rank_state(r as usize),
-                Ev::RankRound(r) => self.on_rank_round(r as usize),
-                Ev::HostState => self.on_host_state(),
-                Ev::HostRound => self.on_host_round(),
-                Ev::LinkRound(r) => self.on_link_round(r as usize),
-                Ev::LinkDeliver(r, msg) => self.on_link_deliver(r as usize, msg),
-            }
+            self.dispatch(ev);
         }
         assert!(
             self.epochs.all_done(),
@@ -704,6 +837,364 @@ impl System {
             self.app.name()
         );
         self.finalize()
+    }
+
+    // ---- windowed parallel execution --------------------------------------
+
+    /// Whether this run may use the windowed parallel engine. Anything
+    /// unprovable falls back to the exact serial merge: parallelism is
+    /// strictly opt-in-fast, never silently wrong.
+    fn parallel_admissible(&self) -> bool {
+        self.q.shards() >= 2
+            // Lane handler ports assume bridge communication; C/H/R
+            // paths and DIMM-Links route through leader-only state.
+            && self.comm == CommPath::Bridges
+            && self.cfg.dimm_link.is_none()
+            // The audit scans queue internals mid-run; tracing and the
+            // debug hooks observe exact interleavings.
+            && self.cfg.audit == AuditLevel::Off
+            && self.trace.is_none()
+            && self.traced_block.is_none()
+            && std::env::var_os("NDPB_DEBUG").is_none()
+            // The application must declare order-independent execute().
+            && self.app.parallel_commutes()
+    }
+
+    /// The windowed main loop: global-class events (rounds, state
+    /// polls) run serially on the leader in exact `(time, seq)` order;
+    /// stretches of unit-class events between them are drained by
+    /// per-shard lanes in parallel windows. Results are byte-identical
+    /// to [`Self::run`]'s serial loop by construction (DESIGN.md §9).
+    fn run_windowed(mut self) -> RunResult {
+        self.windowed = true;
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get() >= 2)
+            .unwrap_or(false);
+        let mut stats = ParallelStats {
+            shards: self.q.shards() as u32,
+            lane_threads: threads,
+            ..ParallelStats::default()
+        };
+        self.inject_initial();
+        if self.epochs.all_done() {
+            self.done = true;
+            self.pstats = Some(stats);
+            return self.finalize();
+        }
+        for r in 0..self.bridges.len() {
+            // Admission guarantees CommPath::Bridges.
+            self.bridges[r].state_scheduled = true;
+            self.sched(self.cfg.i_state(), Ev::RankState(r as u32));
+        }
+        self.sched(self.cfg.i_state(), Ev::HostState);
+
+        let shards = self.q.shards();
+        loop {
+            assert!(
+                self.q.popped() < MAX_EVENTS,
+                "event watchdog tripped: likely livelock in {} on {}",
+                self.design,
+                self.app.name()
+            );
+            let wmin = self.q.min_head_key();
+            let gmin = self.gq.peek().map(|g| (g.at, g.seq));
+            // The staging buffers are a third queue: a staged window
+            // survivor whose causal position precedes every queued key
+            // is the globally next event (everything queued fires at a
+            // strictly later point in serial order, so nothing can
+            // still create a same-tick predecessor). Dispatch it
+            // directly, carrying its original position so its own
+            // creations stamp behind any remaining same-tick survivors.
+            // It is never re-stamped through the wheel: a fresh
+            // `[t, 0, seq]` key would compare as tick-start against
+            // survivors still holding mid-tick creation coordinates.
+            let smin_unit = match (self.staged.peek(), self.staged_g.peek()) {
+                (None, None) => None,
+                (Some(_), None) => Some(true),
+                (None, Some(_)) => Some(false),
+                (Some(u), Some(g)) => Some(u.pos <= g.pos),
+            };
+            if let Some(unit) = smin_unit {
+                let s = if unit {
+                    self.staged.peek()
+                } else {
+                    self.staged_g.peek()
+                }
+                .expect("class heap with the minimum is non-empty");
+                let next = match (wmin, gmin) {
+                    (None, None) => None,
+                    (Some(w), None) => Some(w),
+                    (None, Some(g)) => Some(g),
+                    (Some(w), Some(g)) => Some(w.min(g)),
+                };
+                let due = match next {
+                    None => true,
+                    Some(k) => s.pos < crate::parallel::key_pos(k),
+                };
+                if due {
+                    let p = if unit {
+                        self.staged.pop()
+                    } else {
+                        self.staged_g.pop()
+                    }
+                    .expect("peeked staged entry vanished");
+                    self.q.note_external_pop(p.at);
+                    stats.serial_fallback_steps += 1;
+                    self.dispatch_pos = p.pos;
+                    self.dispatch_births = 0;
+                    self.dispatch(p.ev);
+                    self.dispatch_pos.clear();
+                    continue;
+                }
+            }
+            let heap_next = match (wmin, gmin) {
+                (None, None) => break,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (Some(w), Some(g)) => g < w,
+            };
+            if heap_next {
+                let g = self.gq.pop().expect("peeked heap entry vanished");
+                self.q.note_external_pop(g.at);
+                stats.serial_fallback_steps += 1;
+                self.dispatch_pos = crate::parallel::key_pos((g.at, g.seq));
+                self.dispatch_births = 0;
+                self.dispatch(g.ev);
+                self.dispatch_pos.clear();
+                continue;
+            }
+            // Next is a wheel (unit-class) event. The window may run to
+            // the earliest global-class event: the heap top, or — when
+            // no host round is staged — the earliest instant a *chained*
+            // one could land. A host round can only be chained off a
+            // rank round that gathered at least one message, which costs
+            // one rank-bus grant of `chips × g_xfer` bytes; and
+            // `consider_host_round` never schedules before
+            // `host.last_round_end`. So the earliest chained host round
+            // is `max(last_round_end, wmin + transfer_time)` (DESIGN.md
+            // §9: the cascade floor).
+            let mut stop = gmin.unwrap_or((SimTime::MAX, u64::MAX));
+            if !self.host.round_scheduled {
+                let gather_bytes = self.cfg.geometry.chips_per_rank as u64 * self.cfg.g_xfer as u64;
+                let d_min = self.rank_bus[0].transfer_time(gather_bytes);
+                let mut wstart = wmin.expect("wheel head exists").0;
+                // A staged unit survivor seeded into this window may
+                // fire before the wheel head; the chain floor must
+                // start from the earliest event the window can run.
+                if let Some(s) = self.staged.peek() {
+                    wstart = wstart.min(s.at);
+                }
+                let chain = (wstart + d_min).max(self.host.last_round_end);
+                stop = stop.min((chain, 0));
+            }
+            // A staged *global* survivor still precedes every event at
+            // later ticks, and no lane may execute one; cap the window
+            // so nothing past its tick runs first. Same-tick wheel
+            // keys `[t, 0, seq]` sort below its creation position
+            // `[t, 1, …]` and may proceed; same-tick in-window
+            // creations get excluded, re-staged, and dispatched in
+            // position order. Unit-class survivors need no cap: the
+            // window seeds them into their own shard's pending heap,
+            // where the lane interleaves them with its wheel slice in
+            // exact position order.
+            if let Some(s) = self.staged_g.peek() {
+                stop = stop.min((s.at, u64::MAX));
+            }
+            // Epoch guard: per-lane completion budgets must sum below
+            // the current epoch's outstanding count, so no window can
+            // drain the epoch (advances are leader work).
+            let guard = self.epochs.outstanding_current() > shards as u64;
+            // Seeded survivors keep a lane busy too: `[t, 1, …]` is
+            // inside the window iff `t` precedes the stop tick.
+            let seed_busy = self.staged.peek().is_some_and(|s| s.at < stop.0) as usize;
+            let multi = self.q.shards_with_head_below(stop) + seed_busy >= 2;
+            if guard && multi && wmin.expect("wheel head exists") < stop {
+                self.run_window(stop, threads, &mut stats);
+            } else {
+                let key = wmin.expect("wheel head exists");
+                let (_, ev) = self.q.pop().expect("wheel head exists");
+                stats.serial_fallback_steps += 1;
+                self.dispatch_pos = crate::parallel::key_pos(key);
+                self.dispatch_births = 0;
+                self.dispatch(ev);
+                self.dispatch_pos.clear();
+            }
+        }
+        assert!(
+            self.epochs.all_done(),
+            "simulation drained its event queue with {} tasks outstanding ({} on {})",
+            self.epochs.total_outstanding(),
+            self.design,
+            self.app.name()
+        );
+        self.pstats = Some(stats);
+        self.finalize()
+    }
+
+    /// Executes one parallel window: partitions units and bridges by
+    /// shard, drains each lane concurrently up to `stop`, then merges
+    /// the lanes' deferred effects and re-schedules their surviving
+    /// creations in exact serial order.
+    fn run_window(&mut self, stop: (SimTime, u64), threads: bool, stats: &mut ParallelStats) {
+        use crate::parallel::{key_pos, Lane, LaneResult, PendingEv};
+
+        debug_assert!(!self.done);
+        let shards = self.q.shards();
+        let out = self.epochs.outstanding_current();
+        debug_assert!(out > shards as u64);
+        let budget = (out - 1) / shards as u64;
+        let stop_pos = key_pos(stop);
+
+        // Seed each lane's pending heap with its shard's staged
+        // unit-class survivors that fire inside this window. The lane
+        // interleaves them with its wheel slice by causal position —
+        // the same order the serial engine would execute them — so a
+        // survivor never strands the whole run in serial fallback.
+        // Out-of-window survivors stay staged for a later window or a
+        // direct dispatch.
+        let mut seeds: Vec<Vec<PendingEv>> = (0..shards).map(|_| Vec::new()).collect();
+        for p in std::mem::take(&mut self.staged).into_vec() {
+            if p.pos < stop_pos {
+                let sh = self.shard_of(&p.ev);
+                seeds[sh].push(p);
+            } else {
+                self.staged.push(p);
+            }
+        }
+
+        // Block scope: every lane borrow (units, bridges, app mutex,
+        // queue views) ends here, before the merge touches `self`.
+        let (results, idle): (Vec<LaneResult>, Vec<ndpb_sim::LaneOutcome>) = {
+            let mut lane_units: Vec<Vec<&mut NdpUnit>> = (0..shards).map(|_| Vec::new()).collect();
+            for (i, u) in self.units.iter_mut().enumerate() {
+                lane_units[self.unit_shard[i] as usize].push(u);
+            }
+            let mut lane_bridges: Vec<Vec<&mut RankBridge>> =
+                (0..shards).map(|_| Vec::new()).collect();
+            for (r, b) in self.bridges.iter_mut().enumerate() {
+                lane_bridges[self.rank_shard[r] as usize].push(b);
+            }
+            let app = std::sync::Mutex::new(&mut self.app);
+            let cfg = &self.cfg;
+            let map = &self.map;
+            let lb = self.lb;
+            let epochs = &self.epochs;
+
+            let mut idle = Vec::new();
+            let mut lanes = Vec::new();
+            let views = self.q.lane_views();
+            let mut units_it = lane_units.into_iter();
+            let mut bridges_it = lane_bridges.into_iter();
+            let mut seeds_it = seeds.into_iter();
+            for view in views {
+                let lu = units_it.next().expect("one unit slice per shard");
+                let lbr = bridges_it.next().expect("one bridge slice per shard");
+                let sd = seeds_it.next().expect("one seed set per shard");
+                // A lane with nothing before the stop would do no work;
+                // skip the thread and leave its wheel untouched.
+                let busy = view.peek_key().is_some_and(|k| k < stop) || !sd.is_empty();
+                if busy {
+                    lanes.push(Lane::new(
+                        view,
+                        lu,
+                        lbr,
+                        cfg,
+                        map,
+                        lb,
+                        epochs,
+                        &app,
+                        shards,
+                        stop_pos.clone(),
+                        budget,
+                        sd,
+                    ));
+                } else {
+                    idle.push(view.finish());
+                }
+            }
+            let results = if threads {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = lanes
+                        .into_iter()
+                        .map(|l| s.spawn(move || l.run()))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("lane panicked"))
+                        .collect()
+                })
+            } else {
+                lanes.into_iter().map(Lane::run).collect()
+            };
+            (results, idle)
+        };
+
+        self.q.absorb_lanes(idle);
+        self.q.absorb_lanes(results.iter().map(|r| r.outcome));
+
+        let max_wall = results.iter().map(|r| r.wall_ns).max().unwrap_or(0);
+        stats.barrier_stall_ns += results.iter().map(|r| max_wall - r.wall_ns).sum::<u64>();
+
+        // Deferred deltas: every one commutes across lanes (DESIGN.md
+        // §9), so per-lane application order is immaterial.
+        for r in &results {
+            for (i, &b) in r.comm.iter().enumerate() {
+                if b > 0 {
+                    self.metrics.add(self.m.comm_dram_bytes, b);
+                    self.metrics.add(self.m.ledger_comm[i], b);
+                }
+            }
+            for (i, &b) in r.sram.iter().enumerate() {
+                if b > 0 {
+                    self.metrics.add(self.m.sram_staged_bytes, b);
+                    self.metrics.add(self.m.ledger_sram[i], b);
+                }
+            }
+            self.metrics.add(self.m.msgs_delivered, r.msgs_delivered);
+            for &(ir, il, wl) in &r.settles {
+                self.bridges[ir].to_arrive[il] = self.bridges[ir].to_arrive[il].saturating_sub(wl);
+                self.host.to_arrive[ir] = self.host.to_arrive[ir].saturating_sub(wl);
+            }
+            for block in &r.host_removed {
+                self.host.data_borrowed.remove(block);
+            }
+        }
+        // Epoch bookkeeping: all spawns before all completions, so a
+        // completion can never reference an epoch the tracker has not
+        // seen. The budgets guarantee no completion drains the epoch.
+        for r in &results {
+            for &(ts, n) in &r.spawns {
+                for _ in 0..n {
+                    self.epochs.spawned(ts);
+                }
+            }
+        }
+        for r in &results {
+            for &(ts, n) in &r.completions {
+                for _ in 0..n {
+                    let advanced = self.epochs.completed(ts);
+                    debug_assert!(
+                        advanced.is_none(),
+                        "window completion drained epoch {ts:?} despite budget"
+                    );
+                }
+            }
+        }
+        // Surviving creations are *staged*, not scheduled: a lane that
+        // stopped early at its own crossing may post a smaller-position
+        // creation at the *next* barrier, and stamping sequence numbers
+        // now would invert same-tick order against it. The loop head
+        // releases staged entries in position order once nothing queued
+        // can precede them, so sequence order equals position order —
+        // the serial schedule order — by construction.
+        for p in results.into_iter().flat_map(|r| r.leftovers) {
+            if is_global_class(&p.ev) {
+                self.staged_g.push(p);
+            } else {
+                self.staged.push(p);
+            }
+        }
+        stats.windows += 1;
     }
 
     /// Debug aid: prints lifecycle events of the block named by the
@@ -2824,6 +3315,7 @@ impl System {
             per_unit_busy,
             metrics: self.metrics.into_report(),
             trace,
+            parallel: self.pstats,
         }
     }
 }

@@ -97,6 +97,12 @@ pub struct State {
     deduped: AtomicU64,
     cache_hits: AtomicU64,
     in_flight: AtomicU64,
+    // Windowed parallel-execution counters, accumulated from every
+    // point actually simulated (cache hits restore no stats). Zero
+    // across the board means every run took the exact-merge path.
+    par_shards: AtomicU64,
+    par_windows: AtomicU64,
+    par_stall_ns: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -118,6 +124,9 @@ impl State {
             deduped: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            par_shards: AtomicU64::new(0),
+            par_windows: AtomicU64::new(0),
+            par_stall_ns: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         })
     }
@@ -230,6 +239,15 @@ impl State {
                 // pool's ticket to every job attached to the cell.
                 thread::spawn(move || {
                     let result = ticket.wait();
+                    if let Some(p) = result.parallel {
+                        state
+                            .par_shards
+                            .fetch_max(p.shards as u64, Ordering::SeqCst);
+                        state.par_windows.fetch_add(p.windows, Ordering::SeqCst);
+                        state
+                            .par_stall_ns
+                            .fetch_add(p.barrier_stall_ns, Ordering::SeqCst);
+                    }
                     let json = result.to_json();
                     {
                         let mut inflight = state.inflight.lock().unwrap_or_else(|e| e.into_inner());
@@ -267,15 +285,20 @@ impl State {
         }
     }
 
-    /// `GET /metrics`: server counters plus the engine's live table.
+    /// `GET /metrics`: server counters, windowed parallel-execution
+    /// counters (max shard count seen, windows executed, cumulative
+    /// barrier-stall time), plus the engine's live table.
     pub fn metrics_json(&self) -> String {
         format!(
-            "{{\"server\":{{\"accepted\":{},\"rejected\":{},\"deduped\":{},\"cache_hits\":{},\"in_flight\":{}}},\"sweep\":{}}}",
+            "{{\"server\":{{\"accepted\":{},\"rejected\":{},\"deduped\":{},\"cache_hits\":{},\"in_flight\":{}}},\"parallel\":{{\"shards\":{},\"windows\":{},\"barrier_stall_ns\":{}}},\"sweep\":{}}}",
             self.accepted.load(Ordering::SeqCst),
             self.rejected.load(Ordering::SeqCst),
             self.deduped.load(Ordering::SeqCst),
             self.cache_hits.load(Ordering::SeqCst),
             self.in_flight.load(Ordering::SeqCst),
+            self.par_shards.load(Ordering::SeqCst),
+            self.par_windows.load(Ordering::SeqCst),
+            self.par_stall_ns.load(Ordering::SeqCst),
             self.sweeper.metrics().live_report().to_json(),
         )
     }
@@ -570,6 +593,10 @@ mod tests {
         let server = j.get("server").expect("server block");
         for k in ["accepted", "rejected", "deduped", "cache_hits", "in_flight"] {
             assert_eq!(server.u64_field(k), Some(0), "{k}");
+        }
+        let parallel = j.get("parallel").expect("parallel block");
+        for k in ["shards", "windows", "barrier_stall_ns"] {
+            assert_eq!(parallel.u64_field(k), Some(0), "{k}");
         }
         assert!(j.get("sweep").is_some());
     }

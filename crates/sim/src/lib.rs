@@ -50,5 +50,5 @@ pub mod wheel;
 pub use events::EventQueue;
 pub use fingerprint::Fnv1a64;
 pub use rng::SimRng;
-pub use shard::ShardedEventQueue;
+pub use shard::{LaneOutcome, ShardLane, ShardedEventQueue};
 pub use time::{SimTime, TICKS_PER_BUS_CYCLE, TICKS_PER_CORE_CYCLE};

@@ -65,6 +65,15 @@ pub struct ShardedEventQueue<E> {
     heads: Vec<Option<(SimTime, u64)>>,
     seq: u64,
     now: SimTime,
+    /// Per-wheel scan clocks: the timestamp of each wheel's last pop.
+    /// A wheel's circular near-tier scan is only correct from a base
+    /// that is ≤ every event pending in *that* wheel; under windowed
+    /// execution the wheels advance at different rates, so the global
+    /// clock alone is not a valid base for every wheel. Insert/pop on
+    /// wheel `s` always use `max(now, nows[s])` — in exact-merge mode
+    /// `now >= nows[s]` holds and behavior is identical to a single
+    /// global clock.
+    nows: Vec<SimTime>,
     popped: u64,
 }
 
@@ -96,6 +105,7 @@ impl<E> ShardedEventQueue<E> {
             heads: vec![None; shards],
             seq: 0,
             now: SimTime::ZERO,
+            nows: vec![SimTime::ZERO; shards],
             popped: 0,
         }
     }
@@ -152,7 +162,8 @@ impl<E> ShardedEventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.wheels[shard].insert(self.now, at, seq, event);
+        let base = self.now.max(self.nows[shard]);
+        self.wheels[shard].insert(base, at, seq, event);
         // Later seq: this event only becomes the shard head on a
         // strictly earlier timestamp.
         match self.heads[shard] {
@@ -174,11 +185,13 @@ impl<E> ShardedEventQueue<E> {
             }
         }
         let (_, _, s) = best?;
+        let base = self.now.max(self.nows[s]);
         let ((at, _seq, event), next) = self.wheels[s]
-            .pop_with_key(self.now)
+            .pop_with_key(base)
             .expect("cached head vanished");
         debug_assert!(at >= self.now);
         self.now = at;
+        self.nows[s] = at;
         self.popped += 1;
         self.heads[s] = next;
         Some((at, event))
@@ -189,6 +202,178 @@ impl<E> ShardedEventQueue<E> {
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heads.iter().flatten().min().map(|&(t, _)| t)
     }
+
+    /// Minimum `(time, seq)` key over all shard heads — the key the
+    /// next [`pop`](Self::pop) would take, without popping it.
+    #[inline]
+    pub fn min_head_key(&self) -> Option<(SimTime, u64)> {
+        self.heads.iter().flatten().min().copied()
+    }
+
+    /// How many shards have a pending event with key strictly below
+    /// `key`. The windowed engine uses this to skip opening a parallel
+    /// window (and paying its barrier) when at most one lane would have
+    /// any work before the stop key.
+    #[inline]
+    pub fn shards_with_head_below(&self, key: (SimTime, u64)) -> usize {
+        self.heads.iter().flatten().filter(|&&k| k < key).count()
+    }
+
+    /// Next global sequence number to be assigned (without consuming
+    /// it). Every event already scheduled has a strictly smaller seq.
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Consumes and returns the next global sequence number, exactly as
+    /// [`schedule`](Self::schedule) would stamp it. Used by callers that
+    /// keep time-equal events *outside* the wheels (the windowed
+    /// engine's global-class heap) but must preserve the single
+    /// schedule-order tie-break across both populations.
+    #[inline]
+    pub fn alloc_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Records a pop that happened outside the wheels (an event the
+    /// caller stored externally, e.g. on the windowed engine's
+    /// global-class heap): advances the shared clock and the popped
+    /// counter exactly as [`pop`](Self::pop) would have.
+    #[inline]
+    pub fn note_external_pop(&mut self, at: SimTime) {
+        debug_assert!(at >= self.now, "external pop in the past");
+        self.now = at;
+        self.popped += 1;
+    }
+
+    /// Splits the queue into one pop-only [`ShardLane`] per shard, for
+    /// a parallel window. Each lane independently drains *its own*
+    /// wheel (it can never insert); when the window closes, fold the
+    /// [`LaneOutcome`]s back with [`absorb_lanes`](Self::absorb_lanes).
+    pub fn lane_views(&mut self) -> Vec<ShardLane<'_, E>> {
+        let now = self.now;
+        let heads = &self.heads;
+        let nows = &self.nows;
+        self.wheels
+            .iter_mut()
+            .enumerate()
+            .map(|(s, wheel)| ShardLane {
+                wheel,
+                now: now.max(nows[s]),
+                head: heads[s],
+                popped: 0,
+                shard: s,
+            })
+            .collect()
+    }
+
+    /// Folds parallel-window [`LaneOutcome`]s back into the queue:
+    /// per-wheel clocks and cached heads take the lanes' final values
+    /// and the popped counter absorbs the lanes' pops. The global clock
+    /// is *not* advanced — the next leader pop does that.
+    pub fn absorb_lanes(&mut self, outcomes: impl IntoIterator<Item = LaneOutcome>) {
+        for o in outcomes {
+            self.nows[o.shard] = o.now;
+            self.heads[o.shard] = o.head;
+            self.popped += o.popped;
+        }
+    }
+}
+
+/// A pop-only view of one shard's wheel, handed out by
+/// [`ShardedEventQueue::lane_views`] for the duration of one parallel
+/// window. The lane can peek and pop its own wheel but never insert —
+/// window-created events stay in lane-local storage until the barrier,
+/// which is what keeps the global sequence numbering serial-exact.
+pub struct ShardLane<'a, E> {
+    wheel: &'a mut TimerWheel<E>,
+    /// This wheel's clock: timestamp of its last pop (the insert/scan
+    /// base for the underlying wheel).
+    pub now: SimTime,
+    head: Option<(SimTime, u64)>,
+    /// Events popped by this lane during the window.
+    pub popped: u64,
+    /// The shard index this lane drains.
+    pub shard: usize,
+}
+
+impl<E> ShardLane<'_, E> {
+    /// `(time, seq)` key of this wheel's earliest pending event.
+    #[inline]
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.head
+    }
+
+    /// Pops this wheel's earliest event, advancing the lane clock.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        self.head?;
+        let ((at, seq, event), next) = self
+            .wheel
+            .pop_with_key(self.now)
+            .expect("cached lane head vanished");
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.head = next;
+        self.popped += 1;
+        Some((at, seq, event))
+    }
+
+    /// Closes the lane, returning the state [`ShardedEventQueue::absorb_lanes`]
+    /// folds back in.
+    #[inline]
+    pub fn finish(self) -> LaneOutcome {
+        LaneOutcome {
+            shard: self.shard,
+            now: self.now,
+            head: self.head,
+            popped: self.popped,
+        }
+    }
+}
+
+/// Final state of a [`ShardLane`] after one parallel window.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneOutcome {
+    /// Shard index the lane drained.
+    pub shard: usize,
+    /// The wheel's clock after the lane's last pop.
+    pub now: SimTime,
+    /// The wheel's head key after the lane's last pop.
+    pub head: Option<(SimTime, u64)>,
+    /// Events the lane popped.
+    pub popped: u64,
+}
+
+/// Places the next conservative window from per-shard minimum pending
+/// times: the window is `lookahead` wide, aligned to multiples of it,
+/// and chosen so it contains the globally earliest pending event —
+/// `start = floor(min/lookahead) * lookahead`, `end = start + lookahead`.
+///
+/// Returns `None` when no shard has anything pending (the run is done).
+/// This is the YAWNS-style horizon rule both [`WindowedEngine`] and the
+/// system simulator's windowed mode share; the property suite pins it
+/// against a serial scan-minimum reference with randomized hop
+/// latencies.
+///
+/// # Panics
+///
+/// Panics if `lookahead` is zero.
+pub fn safe_horizon(
+    mins: impl IntoIterator<Item = Option<SimTime>>,
+    lookahead: SimTime,
+) -> Option<(SimTime, SimTime)> {
+    assert!(
+        lookahead > SimTime::ZERO,
+        "safe horizon needs a positive lookahead"
+    );
+    let gmin = mins.into_iter().flatten().min()?;
+    let la = lookahead.ticks();
+    let start = SimTime::from_ticks(gmin.ticks() / la * la);
+    Some((start, start + lookahead))
 }
 
 /// Per-shard behavior driven by the [`WindowedEngine`].
@@ -419,19 +604,13 @@ impl<L: ShardLogic> WindowedEngine<L> {
                         let mut remote: Vec<Envelope<L::Event>> = Vec::new();
                         loop {
                             if barrier.wait().is_leader() {
-                                let mut gmin: Option<SimTime> = None;
-                                for m in mins {
-                                    if let Some(t) = *m.lock().unwrap() {
-                                        gmin = Some(match gmin {
-                                            Some(g) => g.min(t),
-                                            None => t,
-                                        });
-                                    }
-                                }
-                                match gmin {
-                                    Some(t) if !panicked.load(Ordering::SeqCst) => {
-                                        let la = lookahead.ticks();
-                                        window.store(t.ticks() / la * la, Ordering::SeqCst);
+                                let horizon = safe_horizon(
+                                    mins.iter().map(|m| *m.lock().unwrap()),
+                                    lookahead,
+                                );
+                                match horizon {
+                                    Some((ws, _)) if !panicked.load(Ordering::SeqCst) => {
+                                        window.store(ws.ticks(), Ordering::SeqCst);
                                     }
                                     _ => done.store(true, Ordering::SeqCst),
                                 }

@@ -108,6 +108,83 @@ fn random_cross_shard_schedules_pop_identically_to_reference_model() {
     }
 }
 
+/// The system simulator places every parallel window from two queue
+/// primitives: [`ShardedEventQueue::min_head_key`] — the safe horizon,
+/// the earliest `(time, seq)` key any lane could execute — and
+/// [`ShardedEventQueue::shards_with_head_below`] — how many lanes
+/// would be busy before a stop key. Pin both against a deliberately
+/// dumb serial scan over a flat mirror list, under schedules with
+/// randomized hop latencies (same-tick through wheel-overflow
+/// offsets), interleaved pops, and external pops (the windowed
+/// engine's heap/staging dispatches).
+#[test]
+fn safe_horizon_matches_serial_scan_minimum() {
+    for &shards in &[1usize, 2, 4, 8] {
+        for seed in 0..4u64 {
+            let mut rng = SimRng::new(0x5AFE ^ (seed << 8) ^ shards as u64);
+            let mut q = ShardedEventQueue::new(shards);
+            let mut mirror: Vec<(u64, u64, usize)> = Vec::new(); // (ticks, seq, shard)
+            for _ in 0..2_000 {
+                let scan_min = mirror.iter().map(|&(t, s, _)| (t, s)).min();
+                assert_eq!(
+                    q.min_head_key().map(|(t, s)| (t.ticks(), s)),
+                    scan_min,
+                    "horizon diverged from the scan minimum (shards={shards} seed={seed})"
+                );
+                // Any prospective stop key — including keys below, at,
+                // and above the horizon — must count exactly the
+                // shards whose scan-minimum head precedes it.
+                let stop_t = q.now().ticks() + random_offset(&mut rng);
+                let stop = (SimTime::from_ticks(stop_t), rng.next_below(u64::MAX));
+                let want = (0..shards)
+                    .filter(|&sh| {
+                        mirror
+                            .iter()
+                            .filter(|&&(_, _, s)| s == sh)
+                            .map(|&(t, s, _)| (t, s))
+                            .min()
+                            .is_some_and(|k| (SimTime::from_ticks(k.0), k.1) < stop)
+                    })
+                    .count();
+                assert_eq!(
+                    q.shards_with_head_below(stop),
+                    want,
+                    "busy-lane count diverged (shards={shards} seed={seed})"
+                );
+                match rng.next_below(10) {
+                    // Schedule with a random hop latency.
+                    0..=5 => {
+                        let at = q.now().ticks() + random_offset(&mut rng);
+                        let sh = rng.next_below(shards as u64) as usize;
+                        mirror.push((at, q.seq(), sh));
+                        q.schedule(SimTime::from_ticks(at), sh, ());
+                    }
+                    // Pop through the wheels.
+                    6..=8 => {
+                        if let Some((t, ())) = q.pop() {
+                            let i = mirror
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|(_, &(t, s, _))| (t, s))
+                                .map(|(i, _)| i)
+                                .expect("mirror tracks the queue");
+                            let (mt, _, _) = mirror.swap_remove(i);
+                            assert_eq!(mt, t.ticks(), "popped time diverged");
+                        }
+                    }
+                    // External pop at the horizon (a staged/heap
+                    // dispatch): clock advances, heads untouched.
+                    _ => {
+                        if let Some((t, _)) = q.min_head_key() {
+                            q.note_external_pop(t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 // ---- windowed mode: WindowedEngine vs serial windowed reference ---------
 
 const LOOKAHEAD: u64 = 16;

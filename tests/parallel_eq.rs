@@ -1,0 +1,181 @@
+//! Windowed parallel execution equality matrix (DESIGN.md §9).
+//!
+//! `tests/determinism.rs` pins that shard count is observationally
+//! invisible; this suite pins the stronger claim behind it: for
+//! applications that opt into `parallel_commutes()`, the windowed
+//! engine *actually executes windows in lanes* (it is not silently
+//! falling back to the serial merge) and still produces byte-identical
+//! results — summary JSON, full per-epoch metrics, and event counts —
+//! at every shard count, for every bridge-communication design
+//! including the gather-aware policies.
+
+use ndpbridge::bench::{Column, SweepPoint, Sweeper};
+use ndpbridge::core::config::SystemConfig;
+use ndpbridge::core::design::DesignPoint;
+use ndpbridge::core::{AuditLevel, RunResult};
+use ndpbridge::dram::Geometry;
+use ndpbridge::workloads::Scale;
+
+fn cfg() -> SystemConfig {
+    // 4 ranks so `--shards 4` genuinely runs 4 lanes (the queue clamps
+    // shard count to the rank count).
+    let mut c = SystemConfig::with_geometry(Geometry::with_total_ranks(4));
+    c.seed = 29;
+    // Debug builds default the conservation auditor on, which (by
+    // design) vetoes windowed admission; turn it off so this suite
+    // exercises the lanes — with debug assertions live — in tier-1.
+    c.audit = AuditLevel::Off;
+    c
+}
+
+/// Bridge-communication designs: the ones the windowed engine admits.
+/// (C routes over the shared channel and R adds RowClone transfers;
+/// both fall back to the serial merge and are covered by
+/// `tests/determinism.rs`.)
+const DESIGNS: [DesignPoint; 5] = [
+    DesignPoint::B,
+    DesignPoint::W,
+    DesignPoint::O,
+    DesignPoint::WGather,
+    DesignPoint::OGather,
+];
+
+/// Applications that declare commutative `execute()`.
+const APPS: [&str; 2] = ["bfs", "ll"];
+
+fn points(scale: Scale) -> Vec<SweepPoint> {
+    APPS.iter()
+        .flat_map(|&app| {
+            DESIGNS
+                .iter()
+                .map(move |&d| SweepPoint::new(app, Column::Ndp(d), cfg(), scale))
+        })
+        .collect()
+}
+
+fn serialize(results: &[RunResult]) -> Vec<(String, String)> {
+    results
+        .iter()
+        .map(|r| (r.to_json(), r.metrics.to_json()))
+        .collect()
+}
+
+fn assert_matrix(scale: Scale) {
+    let serial = Sweeper::new(1).run(points(scale));
+    let reference = serialize(&serial);
+    let ref_events: Vec<u64> = serial.iter().map(|r| r.events).collect();
+    for r in &serial {
+        assert!(
+            r.parallel.is_none(),
+            "serial run must not report parallel stats ({}/{})",
+            r.design,
+            r.app
+        );
+    }
+    for shards in [1usize, 2, 4] {
+        let got = Sweeper::new(1).with_shards(shards).run(points(scale));
+        let events: Vec<u64> = got.iter().map(|r| r.events).collect();
+        assert_eq!(events, ref_events, "event count drifted at shards={shards}");
+        assert_eq!(
+            serialize(&got),
+            reference,
+            "shards={shards} must be byte-identical to serial"
+        );
+        if shards == 1 {
+            // One shard is the exact-merge path by definition: opting
+            // in fast must never claim windows it did not run.
+            for r in &got {
+                assert!(
+                    r.parallel.is_none(),
+                    "shards=1 must take the serial path ({}/{})",
+                    r.design,
+                    r.app
+                );
+            }
+            continue;
+        }
+        for r in &got {
+            let p = r.parallel.unwrap_or_else(|| {
+                panic!(
+                    "windowed engine did not engage for {}/{} at shards={shards}",
+                    r.design, r.app
+                )
+            });
+            assert_eq!(p.shards, shards as u32, "effective shard count");
+            assert!(
+                p.windows > 0,
+                "no parallel window executed for {}/{} at shards={shards} \
+                 (windows=0, fallback steps={}): the engine silently \
+                 degenerated to the serial merge",
+                r.design,
+                r.app,
+                p.serial_fallback_steps
+            );
+        }
+    }
+}
+
+#[test]
+fn windowed_matrix_matches_serial_at_tiny() {
+    assert_matrix(Scale::Tiny);
+}
+
+/// The Small tier takes tens of seconds per point in debug builds;
+/// release CI runs it (`ci.sh` golden lane), tier-1 debug skips it.
+#[cfg(not(debug_assertions))]
+#[test]
+fn windowed_matrix_matches_serial_at_small() {
+    // One app × two designs keeps the release lane in the minute
+    // range while still exercising million-event windows.
+    let pts = |shards: Option<usize>| {
+        let cols = [
+            Column::Ndp(DesignPoint::W),
+            Column::Ndp(DesignPoint::WGather),
+        ];
+        let s = Sweeper::new(1);
+        let s = match shards {
+            Some(n) => s.with_shards(n),
+            None => s,
+        };
+        s.run(
+            cols.iter()
+                .map(|&c| SweepPoint::new("bfs", c, cfg(), Scale::Small))
+                .collect(),
+        )
+    };
+    let serial = pts(None);
+    let sharded = pts(Some(4));
+    assert_eq!(serialize(&sharded), serialize(&serial));
+    for r in &sharded {
+        let p = r.parallel.expect("windowed engine must engage at Small");
+        assert!(
+            p.windows > 0,
+            "no window executed at Small for {}",
+            r.design
+        );
+    }
+}
+
+/// Non-commuting applications and non-bridge designs must fall back:
+/// correct results, no parallel windows claimed.
+#[test]
+fn non_admissible_points_fall_back_to_exact_merge() {
+    let pts = vec![
+        // tree does not opt into parallel_commutes().
+        SweepPoint::new("tree", Column::Ndp(DesignPoint::O), cfg(), Scale::Tiny),
+        // C communicates over the shared channel, not bridges.
+        SweepPoint::new("bfs", Column::Ndp(DesignPoint::C), cfg(), Scale::Tiny),
+    ];
+    let serial = Sweeper::new(1).run(pts.clone());
+    let sharded = Sweeper::new(1).with_shards(4).run(pts);
+    assert_eq!(serialize(&sharded), serialize(&serial));
+    for r in &sharded {
+        if let Some(p) = r.parallel {
+            assert_eq!(
+                p.windows, 0,
+                "non-admissible point {}/{} claimed parallel windows",
+                r.design, r.app
+            );
+        }
+    }
+}
