@@ -95,8 +95,12 @@ echo "== repro bench smoke: engine throughput + Small tier (non-gating timings) 
 # checked is that the bench harness runs, its repetitions agree on the
 # event count (it asserts determinism internally), and the JSON report
 # is well-formed with all six design columns present.
-"$REPRO" bench --quick --shards 2 --small-tier > "$SMOKE_DIR/bench.txt" 2>&1
+"$REPRO" bench --quick --shards 2 --small-tier --profile > "$SMOKE_DIR/bench.txt" 2>&1
 test -s BENCH_repro.json
+# Structure IS gated: a report missing any of the six design columns —
+# or the shards ladder / profile sections below — means the harness
+# silently dropped coverage, which must fail CI even though the wall
+# times themselves stay non-gating.
 for d in C B W O H R; do
     grep -q "\"design\":\"$d\"" BENCH_repro.json
 done
@@ -128,6 +132,15 @@ grep "baseline speedup_over_serial at" "$SMOKE_DIR/bench.txt" || true
 grep -q '"small_tier":{"scale":"Small"' BENCH_repro.json
 grep -q '"design":"W+GA"' BENCH_repro.json
 grep -q "baseline small-tier gather reduction" "$SMOKE_DIR/bench.txt"
+# --profile smoke: the phase profiler must attribute the event loop
+# (queue vs. dispatch vs. finalize) for every design and emit the
+# events-per-pop histogram; attribution percentages are wall-clock and
+# stay non-gating, but the section's presence and shape are gated.
+grep -q '"profile":\[' BENCH_repro.json
+for k in queue_ns dispatch_ns finalize_ns events_per_batch run_len_hist; do
+    grep -q "\"$k\":" BENCH_repro.json
+done
+grep -q "events-per-pop histogram" "$SMOKE_DIR/bench.txt"
 if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool BENCH_repro.json > /dev/null
 fi
@@ -167,6 +180,10 @@ done
 case "$JOB" in *'"status":"done"'*) ;; *) echo "job 1 never finished: $JOB"; exit 1 ;; esac
 serve_cmd 'run {"app":"ll","design":"C","scale":"tiny"}' | grep -q '"status":"done"'
 serve_cmd 'metrics' | grep -q '"cache_hits":1'
+# The completed run must surface its throughput snapshot (events and
+# events/sec are machine-dependent; presence and non-zero are gated).
+serve_cmd 'metrics' | grep -q '"completed":1'
+serve_cmd 'metrics' | grep -qv '"last_run":{"events":0'
 serve_cmd 'shutdown' | grep -q '"draining":true'
 wait "$SRV"   # graceful shutdown must exit 0 (set -e gates this)
 grep -q "drained, exiting" "$SMOKE_DIR/serve.log"

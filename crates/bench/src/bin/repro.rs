@@ -75,6 +75,13 @@ struct Opts {
     small_tier: bool,
     /// `bench`: repetitions per design (default 5, or 2 with --quick).
     reps: Option<u32>,
+    /// `bench --profile`: append a profiled pass per design attributing
+    /// wall time to queue ops vs. handler dispatch vs. finalize, plus
+    /// the same-tick run-length histogram.
+    profile: bool,
+    /// `bench --full-tier`: append a Scale::Full per-design tier with a
+    /// budgeted rep count (Full runs cost minutes, not milliseconds).
+    full_tier: bool,
     /// `bench`: fewer reps for a CI smoke.
     quick: bool,
     /// `serve`: TCP port (0 picks an ephemeral one).
@@ -101,6 +108,8 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut audit = false;
     let mut steal_budget = None;
     let mut small_tier = false;
+    let mut profile = false;
+    let mut full_tier = false;
     let mut port = 7878u16;
     let mut max_queue = 256usize;
     let mut max_points = 64usize;
@@ -139,6 +148,8 @@ fn parse_opts(args: &[String]) -> Opts {
                 steal_budget = it.next().and_then(|v| v.parse().ok());
             }
             "--small-tier" => small_tier = true,
+            "--profile" => profile = true,
+            "--full-tier" => full_tier = true,
             "--reps" => {
                 reps = it.next().and_then(|v| v.parse().ok());
                 if reps.is_none() {
@@ -193,6 +204,8 @@ fn parse_opts(args: &[String]) -> Opts {
         small_tier,
         reps,
         quick,
+        profile,
+        full_tier,
         port,
         max_queue,
         max_points,
@@ -1126,11 +1139,150 @@ fn bench_engine(o: &Opts) {
             tier_rows.join(",\n")
         );
     }
+    // --profile: one extra profiled pass per design, run *after* the
+    // timing reps so the profiler's clock reads never contaminate the
+    // medians above. Attribution: queue ops vs. handler dispatch vs.
+    // finalize, plus the same-tick run-length histogram that shows what
+    // batched dispatch is fusing (DESIGN.md §3c).
+    let mut profile_rows: Vec<(String, ndpb_core::result::ProfileStats)> = Vec::new();
+    let mut profile_json = String::new();
+    if o.profile {
+        println!(
+            "\n{:<8}{:>9}{:>10}{:>11}{:>11}{:>12}   (profiled pass)",
+            "design", "queue%", "dispatch%", "finalize%", "ev/batch", "batches"
+        );
+        let mut agg_rows = Vec::new();
+        for col in &cols {
+            let mut agg = ndpb_core::result::ProfileStats::default();
+            for app in &apps {
+                let r = ndpb_bench::run_profiled(app, *col, SystemConfig::table1(), scale);
+                agg.merge(
+                    r.profile
+                        .as_ref()
+                        .expect("profiled run must report a profile"),
+                );
+            }
+            let total = (agg.queue_ns + agg.dispatch_ns + agg.finalize_ns).max(1) as f64;
+            println!(
+                "{:<8}{:>8.1}%{:>9.1}%{:>10.1}%{:>11.2}{:>12}",
+                col.label(),
+                100.0 * agg.queue_ns as f64 / total,
+                100.0 * agg.dispatch_ns as f64 / total,
+                100.0 * agg.finalize_ns as f64 / total,
+                agg.events_per_batch(),
+                agg.batches
+            );
+            agg_rows.push(format!(
+                "{{\"design\":\"{}\",\"stats\":{}}}",
+                col.label(),
+                agg.to_json()
+            ));
+            profile_rows.push((col.label(), agg));
+        }
+        let mut hist = [0u64; 8];
+        for (_, p) in &profile_rows {
+            for (h, v) in hist.iter_mut().zip(p.run_len_hist) {
+                *h += v;
+            }
+        }
+        let total_batches: u64 = hist.iter().sum::<u64>().max(1);
+        let line: Vec<String> = ndpb_core::result::ProfileStats::RUN_LEN_LABELS
+            .iter()
+            .zip(hist)
+            .map(|(l, v)| format!("{l}:{:.1}%", 100.0 * v as f64 / total_batches as f64))
+            .collect();
+        println!("events-per-pop histogram  {}", line.join("  "));
+        profile_json = format!("\"profile\":[\n{}\n],", agg_rows.join(",\n"));
+    }
+    // --full-tier: the first Scale::Full per-design tier. Full runs
+    // cost minutes, not milliseconds, so the rep count is budgeted
+    // (default 1 with --quick, else 2) — the numbers are a trajectory
+    // marker, not a micro-benchmark.
+    let mut full_rows: Vec<(String, u64, f64)> = Vec::new();
+    let mut full_json = String::new();
+    if o.full_tier {
+        let full_reps = if o.quick { 1 } else { 2 };
+        println!(
+            "\n== Full tier: {} apps x {} designs, {} rep(s), scale Full ==",
+            apps.len(),
+            cols.len(),
+            full_reps
+        );
+        let mut fwalls: Vec<Vec<f64>> = vec![Vec::new(); cols.len()];
+        let mut fevents: Vec<u64> = vec![0; cols.len()];
+        for rep in 0..full_reps {
+            for (ci, col) in cols.iter().enumerate() {
+                let start = std::time::Instant::now();
+                let mut ev = 0u64;
+                for app in &apps {
+                    let r = match col {
+                        Column::Ndp(d) => {
+                            ndpb_bench::run_one(app, *d, SystemConfig::table1(), Scale::Full)
+                        }
+                        Column::Host => {
+                            ndpb_bench::run_host(app, SystemConfig::table1(), Scale::Full)
+                        }
+                    };
+                    ev += r.events;
+                }
+                fwalls[ci].push(start.elapsed().as_secs_f64());
+                if rep == 0 {
+                    fevents[ci] = ev;
+                } else {
+                    assert_eq!(fevents[ci], ev, "nondeterministic event count for {col:?}");
+                }
+            }
+        }
+        println!(
+            "{:<8}{:>12}{:>14}{:>16}",
+            "design", "events", "median s", "events/sec"
+        );
+        let mut frows = Vec::new();
+        let (mut ftotal_events, mut ftotal_median) = (0u64, 0.0f64);
+        for (ci, col) in cols.iter().enumerate() {
+            let med = ndpb_bench::timing::median(&fwalls[ci]);
+            let eps = if med > 0.0 {
+                fevents[ci] as f64 / med
+            } else {
+                0.0
+            };
+            println!(
+                "{:<8}{:>12}{:>14.4}{:>16.0}",
+                col.label(),
+                fevents[ci],
+                med,
+                eps
+            );
+            ftotal_events += fevents[ci];
+            ftotal_median += med;
+            full_rows.push((col.label(), fevents[ci], eps));
+            frows.push(format!(
+                "{{\"design\":\"{}\",\"events\":{},\"median_wall_seconds\":{:.6},\"events_per_sec\":{:.1}}}",
+                col.label(),
+                fevents[ci],
+                med,
+                eps
+            ));
+        }
+        let ftotal_eps = if ftotal_median > 0.0 {
+            ftotal_events as f64 / ftotal_median
+        } else {
+            0.0
+        };
+        println!(
+            "{:<8}{:>12}{:>14.4}{:>16.0}",
+            "total", ftotal_events, ftotal_median, ftotal_eps
+        );
+        full_json = format!(
+            "\"full_tier\":{{\"scale\":\"Full\",\"reps\":{full_reps},\"designs\":[\n{}\n],\"total_events\":{ftotal_events},\"total_median_wall_seconds\":{ftotal_median:.6},\"total_events_per_sec\":{ftotal_eps:.1}}},",
+            frows.join(",\n")
+        );
+    }
     // Honest context for the scaling rungs: speedup numbers from a
     // host with fewer threads than shards are inline-lane numbers.
     let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     let body = format!(
-        "{{\"bench\":\"fig10\",\"scale\":\"{:?}\",\"reps\":{},\"host_parallelism\":{host_parallelism},\"apps\":[{}],\"designs\":[\n{}\n],{}{}\"total_events\":{},\"total_median_wall_seconds\":{:.6},\"total_events_per_sec\":{:.1}}}\n",
+        "{{\"bench\":\"fig10\",\"scale\":\"{:?}\",\"reps\":{},\"host_parallelism\":{host_parallelism},\"apps\":[{}],\"designs\":[\n{}\n],{}{}{}{}\"total_events\":{},\"total_median_wall_seconds\":{:.6},\"total_events_per_sec\":{:.1}}}\n",
         scale,
         reps,
         apps.iter()
@@ -1140,6 +1292,8 @@ fn bench_engine(o: &Opts) {
         rows.join(",\n"),
         shards_json,
         small_tier_json,
+        profile_json,
+        full_json,
         total_events,
         total_median,
         total_eps
@@ -1149,7 +1303,7 @@ fn bench_engine(o: &Opts) {
         Ok(()) => eprintln!("[wrote {path}]"),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }
-    print_baseline_delta(&stat_rows, scale);
+    print_baseline_delta(&stat_rows, scale, &profile_rows, &full_rows);
 }
 
 /// Compares a `repro bench` run against the committed baseline in
@@ -1157,7 +1311,12 @@ fn bench_engine(o: &Opts) {
 /// are informational (machines differ); event-count drift is called
 /// out loudly because the simulator is deterministic — a changed count
 /// means changed behaviour, not noise.
-fn print_baseline_delta(rows: &[(String, u64, f64)], scale: Scale) {
+fn print_baseline_delta(
+    rows: &[(String, u64, f64)],
+    scale: Scale,
+    profile_rows: &[(String, ndpb_core::result::ProfileStats)],
+    full_rows: &[(String, u64, f64)],
+) {
     let path = std::path::Path::new("docs/repro/BENCH_repro.json");
     let Ok(text) = std::fs::read_to_string(path) else {
         return;
@@ -1208,6 +1367,68 @@ fn print_baseline_delta(rows: &[(String, u64, f64)], scale: Scale) {
                 println!("   EVENT-COUNT DRIFT: {be} -> {events}");
             }
             _ => println!(),
+        }
+    }
+    // Newer sections diff only when both sides carry them: old
+    // baselines (and runs without the flags) silently skip.
+    if !profile_rows.is_empty() {
+        if let Some(base_prof) = base.get("profile").and_then(|p| p.as_arr()) {
+            println!(
+                "\nprofile vs baseline: {:<8}{:>12}{:>12}{:>14}{:>14}",
+                "design", "base q%", "now q%", "base ev/b", "now ev/b"
+            );
+            for (label, p) in profile_rows {
+                let Some(stats) = base_prof
+                    .iter()
+                    .find(|d| d.str_field("design") == Some(label.as_str()))
+                    .and_then(|d| d.get("stats"))
+                else {
+                    continue;
+                };
+                let f = |k: &str| stats.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+                let base_total = (f("queue_ns") + f("dispatch_ns") + f("finalize_ns")).max(1.0);
+                let now_total = (p.queue_ns + p.dispatch_ns + p.finalize_ns).max(1) as f64;
+                println!(
+                    "{:<29}{:>11.1}%{:>11.1}%{:>14.2}{:>14.2}",
+                    label,
+                    100.0 * f("queue_ns") / base_total,
+                    100.0 * p.queue_ns as f64 / now_total,
+                    f("events_per_batch"),
+                    p.events_per_batch()
+                );
+            }
+        }
+    }
+    if !full_rows.is_empty() {
+        if let Some(base_full) = base
+            .get("full_tier")
+            .and_then(|t| t.get("designs"))
+            .and_then(|d| d.as_arr())
+        {
+            println!(
+                "\nfull tier vs baseline: {:<8}{:>14}{:>14}{:>10}",
+                "design", "base ev/s", "now ev/s", "ratio"
+            );
+            for (label, events, eps) in full_rows {
+                let Some(b) = base_full
+                    .iter()
+                    .find(|d| d.str_field("design") == Some(label.as_str()))
+                else {
+                    continue;
+                };
+                let base_eps = b
+                    .get("events_per_sec")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0);
+                let ratio = if base_eps > 0.0 { eps / base_eps } else { 0.0 };
+                print!("{label:<31}{base_eps:>14.0}{eps:>14.0}{ratio:>9.2}x");
+                match b.u64_field("events") {
+                    Some(be) if be != *events => {
+                        println!("   EVENT-COUNT DRIFT: {be} -> {events}");
+                    }
+                    _ => println!(),
+                }
+            }
         }
     }
 }
@@ -1457,7 +1678,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown subcommand {other:?}");
-            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|audit|gather|bench|serve|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--jobs N] [--cache-dir path] [--no-cache] [--audit] [--steal-budget N] [--json path] [--trace path] [--metrics-json path] [--reps N] [--quick] [--small-tier] [--shards N] [--port N] [--max-queue N] [--max-points N]");
+            eprintln!("usage: repro <table1|table2|fig2|fig10|fig11|fig12|fig13|fig14a|fig14b|fig15|fig16a|fig16b|fig16c|fig16d|split-dimm|dimm-link|audit|gather|bench|serve|trace|all> [--tiny|--small|--full] [--apps a,b,c] [--jobs N] [--cache-dir path] [--no-cache] [--audit] [--steal-budget N] [--json path] [--trace path] [--metrics-json path] [--reps N] [--quick] [--small-tier] [--profile] [--full-tier] [--shards N] [--port N] [--max-queue N] [--max-points N]");
             std::process::exit(2);
         }
     }

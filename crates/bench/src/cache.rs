@@ -160,6 +160,7 @@ pub fn decode_result(text: &str) -> Option<RunResult> {
         // Cache hits replay a past run; parallel-engine wall-clock
         // stats describe only the run that produced them.
         parallel: None,
+        profile: None,
     })
 }
 

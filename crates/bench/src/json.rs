@@ -121,6 +121,11 @@ impl Json {
         self.get(key)?.as_u64()
     }
 
+    /// Convenience: `self.get(key)?.as_f64()`.
+    pub fn f64_field(&self, key: &str) -> Option<f64> {
+        self.get(key)?.as_f64()
+    }
+
     /// Convenience: `self.get(key)?.as_str()`.
     pub fn str_field(&self, key: &str) -> Option<&str> {
         self.get(key)?.as_str()

@@ -64,6 +64,28 @@ pub fn run_host(app_name: &str, cfg: SystemConfig, scale: Scale) -> RunResult {
     HostOnly::new(cfg, HostOnlyConfig::paper(), app).run()
 }
 
+/// Runs one column with the event-loop phase profiler armed, so
+/// `RunResult::profile` comes back populated (`repro bench --profile`).
+/// Profiled runs bypass the sweep cache — the point is the wall-clock
+/// attribution, not the result — and take the serial path; the result
+/// bytes are identical to an unprofiled run.
+pub fn run_profiled(app_name: &str, column: Column, cfg: SystemConfig, scale: Scale) -> RunResult {
+    match column {
+        Column::Ndp(design) => {
+            let app = build_app(app_name, &cfg.geometry, scale, cfg.seed);
+            let mut sys = System::new(cfg, design, app);
+            sys.set_profile();
+            sys.run()
+        }
+        Column::Host => {
+            let app = build_app(app_name, &cfg.geometry, scale, cfg.seed);
+            let mut host = HostOnly::new(cfg, HostOnlyConfig::paper(), app);
+            host.set_profile();
+            host.run()
+        }
+    }
+}
+
 /// A labelled design column: either an NDP design point or the host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Column {

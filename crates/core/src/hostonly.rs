@@ -16,7 +16,8 @@ use ndpb_tasks::{Application, ExecCtx, Task};
 
 use crate::config::SystemConfig;
 use crate::epoch::EpochTracker;
-use crate::result::RunResult;
+use crate::pool::BufPool;
+use crate::result::{ProfileStats, RunResult};
 
 /// Host CPU model parameters.
 #[derive(Debug, Clone)]
@@ -85,7 +86,11 @@ pub struct HostOnly {
     /// loop executes every task without per-task heap allocation (same
     /// recycling scheme as `System`).
     ctx: ExecCtx,
-    spawn_pool: Vec<Vec<Task>>,
+    spawn_pool: BufPool<Task>,
+    /// Event-loop phase profile, armed by [`Self::set_profile`] and
+    /// surfaced as [`RunResult::profile`] (kept out of `to_json`, like
+    /// `System`'s).
+    profile: Option<ProfileStats>,
 }
 
 impl HostOnly {
@@ -119,8 +124,14 @@ impl HostOnly {
             tasks_executed: 0,
             dram_bytes: 0,
             ctx: ExecCtx::new(ndpb_dram::UnitId(0)),
-            spawn_pool: Vec::new(),
+            spawn_pool: BufPool::new(),
+            profile: None,
         }
+    }
+
+    /// Arms the event-loop phase profiler (see [`crate::System::set_profile`]).
+    pub fn set_profile(&mut self) {
+        self.profile = Some(ProfileStats::default());
     }
 
     /// Ticks a host core needs for `cycles` NDP-core-equivalent cycles.
@@ -139,7 +150,7 @@ impl HostOnly {
 
     fn start(&mut self, w: usize, task: Task, now: SimTime) {
         let begin = now.max(self.worker_free[w]);
-        let spawn_buf = self.spawn_pool.pop().unwrap_or_default();
+        let spawn_buf = self.spawn_pool.get();
         self.ctx.reset(ndpb_dram::UnitId(0), spawn_buf);
         self.app.execute(&task, &mut self.ctx);
         let ctx = &self.ctx;
@@ -186,6 +197,24 @@ impl HostOnly {
         }
     }
 
+    /// Processes one completion exactly as the pop-at-a-time loop did;
+    /// batching changes how completions are *fetched*, never what each
+    /// one does, so results stay byte-identical.
+    fn complete(&mut self, now: SimTime, mut done: Done) {
+        self.tasks_executed += 1;
+        for child in done.children.drain(..) {
+            self.enqueue(child);
+        }
+        self.spawn_pool.put(done.children);
+        if let Some(next) = self.epochs.completed(done.task.ts) {
+            if let Some(released) = self.future.remove(&next.0) {
+                self.ready.extend(released);
+            }
+        }
+        self.idle.push(done.worker as usize);
+        self.dispatch(now);
+    }
+
     /// Runs to completion.
     pub fn run(mut self) -> RunResult {
         for t in self.app.initial_tasks() {
@@ -193,19 +222,17 @@ impl HostOnly {
             self.enqueue(t);
         }
         self.dispatch(SimTime::ZERO);
-        while let Some((now, mut done)) = self.q.pop() {
-            self.tasks_executed += 1;
-            for child in done.children.drain(..) {
-                self.enqueue(child);
-            }
-            self.spawn_pool.push(done.children);
-            if let Some(next) = self.epochs.completed(done.task.ts) {
-                if let Some(released) = self.future.remove(&next.0) {
-                    self.ready.extend(released);
+        // Batched same-tick dispatch (DESIGN.md §3c): one merged head
+        // scan per run of equal-time completions instead of one per pop.
+        let mut batch: Vec<Done> = Vec::with_capacity(32);
+        if self.profile.is_some() {
+            self.run_profiled(&mut batch);
+        } else {
+            while let Some(now) = self.q.pop_run(&mut batch) {
+                for done in batch.drain(..) {
+                    self.complete(now, done);
                 }
             }
-            self.idle.push(done.worker as usize);
-            self.dispatch(now);
         }
         assert!(
             self.epochs.all_done(),
@@ -214,7 +241,26 @@ impl HostOnly {
         self.finalize()
     }
 
-    fn finalize(self) -> RunResult {
+    /// The batched loop with phase timing (two clock reads per run).
+    fn run_profiled(&mut self, batch: &mut Vec<Done>) {
+        let mut prof = ProfileStats::default();
+        loop {
+            let t0 = std::time::Instant::now();
+            let now = self.q.pop_run(batch);
+            prof.queue_ns += t0.elapsed().as_nanos() as u64;
+            let Some(now) = now else { break };
+            prof.note_batch(batch.len());
+            let t1 = std::time::Instant::now();
+            for done in batch.drain(..) {
+                self.complete(now, done);
+            }
+            prof.dispatch_ns += t1.elapsed().as_nanos() as u64;
+        }
+        self.profile = Some(prof);
+    }
+
+    fn finalize(mut self) -> RunResult {
+        let finalize_start = self.profile.is_some().then(std::time::Instant::now);
         let makespan = self
             .worker_last
             .iter()
@@ -274,6 +320,12 @@ impl HostOnly {
             metrics: ndpb_trace::MetricsReport::default(),
             trace: Vec::new(),
             parallel: None,
+            profile: self.profile.take().map(|mut p| {
+                p.finalize_ns = finalize_start
+                    .map(|t| t.elapsed().as_nanos() as u64)
+                    .unwrap_or(0);
+                p
+            }),
         }
     }
 }

@@ -28,6 +28,7 @@ pub mod fasthash;
 pub mod hostonly;
 pub mod metadata;
 pub(crate) mod parallel;
+pub mod pool;
 pub mod result;
 pub mod steal;
 pub mod system;
@@ -36,5 +37,6 @@ pub mod unit;
 pub use audit::{AuditLevel, Violation};
 pub use config::{SystemConfig, TriggerPolicy};
 pub use design::{CommPath, DesignPoint, LbPolicy};
-pub use result::{ParallelStats, RunResult};
+pub use pool::BufPool;
+pub use result::{ParallelStats, ProfileStats, RunResult};
 pub use system::System;

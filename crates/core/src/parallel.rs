@@ -162,7 +162,7 @@ pub(crate) struct Lane<'a> {
     /// Lane-local clock: time of the event being dispatched.
     now: SimTime,
     exec_ctx: ExecCtx,
-    spawn_pool: Vec<Vec<Task>>,
+    spawn_pool: crate::pool::BufPool<Task>,
     // ---- deferred deltas ----
     comm: [u64; 10],
     sram: [u64; 6],
@@ -212,7 +212,7 @@ impl<'a> Lane<'a> {
             cur_pos: Vec::new(),
             cur_idx: 0,
             exec_ctx: ExecCtx::new(UnitId(0)),
-            spawn_pool: Vec::new(),
+            spawn_pool: crate::pool::BufPool::new(),
             comm: [0; 10],
             sram: [0; 6],
             msgs_delivered: 0,
@@ -424,7 +424,7 @@ impl<'a> Lane<'a> {
         if self.units[lu].is_borrowed(block) {
             self.units[lu].touch_borrow(block);
         }
-        let spawn_buf = self.spawn_pool.pop().unwrap_or_default();
+        let spawn_buf = self.spawn_pool.get();
         self.exec_ctx.reset(self.units[lu].id, spawn_buf);
         {
             let mut app = self.app.lock().expect("application lock poisoned");
@@ -470,7 +470,7 @@ impl<'a> Lane<'a> {
         for child in children.drain(..) {
             self.route_spawn(u, child, now);
         }
-        self.spawn_pool.push(children);
+        self.spawn_pool.put(children);
         // The serial handler's epoch-advance and all-done branches
         // cannot fire inside a window: the lane completion budgets sum
         // to strictly less than the epoch's outstanding count.

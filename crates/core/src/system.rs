@@ -22,7 +22,7 @@ use crate::bridge::{HostBridge, RankBridge};
 use crate::config::{w_threshold, SystemConfig, TriggerPolicy};
 use crate::design::{CommPath, DesignPoint, LbPolicy};
 use crate::epoch::EpochTracker;
-use crate::result::{ParallelStats, RunResult};
+use crate::result::{ParallelStats, ProfileStats, RunResult};
 use crate::steal;
 use crate::unit::{NdpUnit, ScheduledBlock};
 
@@ -111,13 +111,13 @@ pub struct System {
     /// scatter path; inner `Vec`s cycle through [`Self::vec_pool`].
     per_unit_scratch: Vec<(usize, Vec<Message>)>,
     /// Free list of empty message `Vec`s backing `per_unit_scratch`.
-    vec_pool: Vec<Vec<Message>>,
+    vec_pool: crate::pool::BufPool<Message>,
     /// Persistent execution context: task reads/writes/spawns land in
     /// recycled buffers instead of three fresh `Vec`s per task.
     exec_ctx: ExecCtx,
     /// Free list of spawn `Vec`s cycling between [`Ev::TaskDone`] events
     /// and [`Self::exec_ctx`].
-    spawn_pool: Vec<Vec<Task>>,
+    spawn_pool: crate::pool::BufPool<Task>,
     /// Whether the windowed parallel engine is driving this run. When
     /// set, global-class events (rounds, state polls, link traffic)
     /// live on [`Self::gq`] instead of the wheels, so the wheels hold
@@ -152,6 +152,12 @@ pub struct System {
     /// Parallel-execution statistics, populated by the windowed engine
     /// and surfaced as [`RunResult::parallel`].
     pstats: Option<ParallelStats>,
+    /// Event-loop phase profile, armed by [`System::set_profile`] and
+    /// surfaced as [`RunResult::profile`]. Deliberately *not* part of
+    /// [`SystemConfig`]: the config's debug representation is hashed
+    /// into cache fingerprints, and a wall-clock measurement toggle
+    /// must never change a result's identity.
+    profile: Option<ProfileStats>,
 }
 
 /// A global-class event staged on [`System::gq`] in windowed mode.
@@ -549,9 +555,9 @@ impl System {
             cfg,
             msg_scratch: Vec::new(),
             per_unit_scratch: Vec::new(),
-            vec_pool: Vec::new(),
+            vec_pool: crate::pool::BufPool::new(),
             exec_ctx: ExecCtx::new(ndpb_dram::UnitId(0)),
-            spawn_pool: Vec::new(),
+            spawn_pool: crate::pool::BufPool::new(),
             windowed: false,
             gq: std::collections::BinaryHeap::new(),
             staged: std::collections::BinaryHeap::new(),
@@ -559,6 +565,7 @@ impl System {
             dispatch_pos: Vec::new(),
             dispatch_births: 0,
             pstats: None,
+            profile: None,
         }
     }
 
@@ -732,6 +739,17 @@ impl System {
         self.trace = Some(sink);
     }
 
+    /// Arms the event-loop phase profiler: [`run`](Self::run) will
+    /// attribute wall time to queue ops vs. handler dispatch vs.
+    /// finalization and record the same-tick batch-length histogram,
+    /// surfacing it as [`RunResult::profile`]. Profiled runs take the
+    /// serial exact-merge path (phase timings of interleaved lanes
+    /// would be meaningless) and produce byte-identical results; the
+    /// profile itself never reaches golden JSON or the result cache.
+    pub fn set_profile(&mut self) {
+        self.profile = Some(ProfileStats::default());
+    }
+
     /// The address map in force (for tests and workload setup).
     pub fn address_map(&self) -> &AddressMap {
         &self.map
@@ -773,7 +791,39 @@ impl System {
         }
         self.sched(self.cfg.i_state(), Ev::HostState);
 
-        let debug = std::env::var_os("NDPB_DEBUG").is_some();
+        if std::env::var_os("NDPB_DEBUG").is_none() {
+            if self.profile.is_some() {
+                self.run_serial_profiled();
+            } else {
+                // Batched same-tick dispatch: one head scan + bitmap
+                // walk + overflow compare per *run* instead of per
+                // event, with pop order byte-identical to single pops
+                // by the `pop_run` contract (DESIGN.md §3c).
+                let mut batch: Vec<Ev> = Vec::with_capacity(64);
+                while self.q.pop_run(&mut batch).is_some() {
+                    assert!(
+                        self.q.popped() < MAX_EVENTS,
+                        "event watchdog tripped: likely livelock in {} on {}",
+                        self.design,
+                        self.app.name()
+                    );
+                    for ev in batch.drain(..) {
+                        self.dispatch(ev);
+                    }
+                }
+            }
+            assert!(
+                self.epochs.all_done(),
+                "simulation drained its event queue with {} tasks outstanding ({} on {})",
+                self.epochs.total_outstanding(),
+                self.design,
+                self.app.name()
+            );
+            return self.finalize();
+        }
+
+        // NDPB_DEBUG: pop-at-a-time loop so the periodic diagnostic
+        // dump observes every event boundary.
         while let Some((_, ev)) = self.q.pop() {
             assert!(
                 self.q.popped() < MAX_EVENTS,
@@ -781,7 +831,7 @@ impl System {
                 self.design,
                 self.app.name()
             );
-            if debug && self.q.popped().is_multiple_of(1_000_000) {
+            if self.q.popped().is_multiple_of(1_000_000) {
                 let queued: usize = self.units.iter().map(|u| u.queued_tasks()).sum();
                 let future: usize = self.units.iter().map(|u| u.future_tasks()).sum();
                 let mailed: usize = self.units.iter().map(|u| u.mailbox.len()).sum();
@@ -839,6 +889,35 @@ impl System {
         self.finalize()
     }
 
+    /// The batched serial loop with phase timing: `Instant` reads
+    /// bracket each queue pop and each batch dispatch, so the overhead
+    /// is two clock reads per *run*, not per event.
+    fn run_serial_profiled(&mut self) {
+        let mut prof = ProfileStats::default();
+        let mut batch: Vec<Ev> = Vec::with_capacity(64);
+        loop {
+            let t0 = std::time::Instant::now();
+            let popped = self.q.pop_run(&mut batch).is_some();
+            prof.queue_ns += t0.elapsed().as_nanos() as u64;
+            if !popped {
+                break;
+            }
+            assert!(
+                self.q.popped() < MAX_EVENTS,
+                "event watchdog tripped: likely livelock in {} on {}",
+                self.design,
+                self.app.name()
+            );
+            prof.note_batch(batch.len());
+            let t1 = std::time::Instant::now();
+            for ev in batch.drain(..) {
+                self.dispatch(ev);
+            }
+            prof.dispatch_ns += t1.elapsed().as_nanos() as u64;
+        }
+        self.profile = Some(prof);
+    }
+
     // ---- windowed parallel execution --------------------------------------
 
     /// Whether this run may use the windowed parallel engine. Anything
@@ -855,6 +934,9 @@ impl System {
             && self.cfg.audit == AuditLevel::Off
             && self.trace.is_none()
             && self.traced_block.is_none()
+            // Profiling attributes wall time to serial phases; lane
+            // threads would make the split meaningless.
+            && self.profile.is_none()
             && std::env::var_os("NDPB_DEBUG").is_none()
             // The application must declare order-independent execute().
             && self.app.parallel_commutes()
@@ -1285,7 +1367,7 @@ impl System {
         }
         // Execute, reusing the persistent context: reads/writes land in
         // recycled buffers and the spawn `Vec` comes off the free list.
-        let spawn_buf = self.spawn_pool.pop().unwrap_or_default();
+        let spawn_buf = self.spawn_pool.get();
         self.exec_ctx.reset(self.units[u].id, spawn_buf);
         self.app.execute(&task, &mut self.exec_ctx);
         let ctx = &self.exec_ctx;
@@ -1339,7 +1421,7 @@ impl System {
         for child in children.drain(..) {
             self.route_spawn(u, child, now);
         }
-        self.spawn_pool.push(children);
+        self.spawn_pool.put(children);
         if let Some(new_epoch) = self.epochs.completed(task.ts) {
             self.note_epoch_advance(new_epoch, now);
             let hot = self.lb.hot_data;
@@ -1637,7 +1719,15 @@ impl System {
     // ---- routing -----------------------------------------------------------
 
     fn local_index(&self, u: usize) -> usize {
-        u % self.cfg.geometry.units_per_rank() as usize
+        // Per-gathered-message hot path: mask instead of hardware
+        // divide for power-of-two per-rank unit counts (identical
+        // results; every evaluated geometry qualifies).
+        let upr = self.cfg.geometry.units_per_rank() as usize;
+        if upr.is_power_of_two() {
+            u & (upr - 1)
+        } else {
+            u % upr
+        }
     }
 
     /// Rank-bridge routing decision for a gathered message: a local
@@ -2764,7 +2854,7 @@ impl System {
                 match per_unit.iter_mut().find(|(u, _)| *u == dest) {
                     Some((_, v)) => v.push(msg),
                     None => {
-                        let mut v = self.vec_pool.pop().unwrap_or_default();
+                        let mut v = self.vec_pool.get();
                         v.push(msg);
                         per_unit.push((dest, v));
                     }
@@ -2816,7 +2906,7 @@ impl System {
                 for msg in msgs.drain(..) {
                     self.schedule_delivery(cg.end, u, msg);
                 }
-                self.vec_pool.push(msgs);
+                self.vec_pool.put(msgs);
             }
             self.per_unit_scratch = per_unit;
         }
@@ -3227,6 +3317,7 @@ impl System {
     }
 
     fn finalize(mut self) -> RunResult {
+        let finalize_start = self.profile.is_some().then(std::time::Instant::now);
         let mut finish = FinishTimes::default();
         let mut busy = FinishTimes::default();
         let mut per_unit_busy = Vec::with_capacity(self.units.len());
@@ -3288,6 +3379,12 @@ impl System {
                 makespan,
             ),
         };
+        let profile = self.profile.take().map(|mut p| {
+            p.finalize_ns = finalize_start
+                .map(|t| t.elapsed().as_nanos() as u64)
+                .unwrap_or(0);
+            p
+        });
         RunResult {
             app: self.app.name().to_string(),
             design: self.design.to_string(),
@@ -3316,6 +3413,7 @@ impl System {
             metrics: self.metrics.into_report(),
             trace,
             parallel: self.pstats,
+            profile,
         }
     }
 }

@@ -53,6 +53,41 @@ pub struct AddressMap {
     block_bytes: u32,
     row_bytes: u32,
     total_units: u32,
+    /// `log2` of each divisor when it is a power of two (the case for
+    /// every evaluated configuration). Address math runs on the
+    /// per-event hot path — block lookups on every task route/deliver,
+    /// row lookups on every DRAM access — where a 64-bit hardware
+    /// divide costs an order of magnitude more than a shift, so the
+    /// divisions are strength-reduced at construction. Shift and divide
+    /// are bit-identical for power-of-two divisors: results do not
+    /// depend on which path runs.
+    bank_shift: Option<u32>,
+    block_shift: Option<u32>,
+    row_shift: Option<u32>,
+}
+
+/// `x / d`, as a shift when `shift` caches `log2(d)`.
+#[inline(always)]
+fn div_p2(x: u64, d: u64, shift: Option<u32>) -> u64 {
+    match shift {
+        Some(s) => x >> s,
+        None => x / d,
+    }
+}
+
+/// `x % d`, as a mask when `shift` caches `log2(d)`.
+#[inline(always)]
+fn rem_p2(x: u64, d: u64, shift: Option<u32>) -> u64 {
+    match shift {
+        Some(s) => x & ((1u64 << s) - 1),
+        None => x % d,
+    }
+}
+
+/// `log2(d)` if `d` is a power of two.
+#[inline]
+fn p2_shift(d: u64) -> Option<u32> {
+    d.is_power_of_two().then(|| d.trailing_zeros())
 }
 
 impl AddressMap {
@@ -75,6 +110,9 @@ impl AddressMap {
             block_bytes,
             row_bytes,
             total_units: geometry.total_units(),
+            bank_shift: p2_shift(geometry.bank_bytes),
+            block_shift: p2_shift(block_bytes as u64),
+            row_shift: p2_shift(row_bytes as u64),
         }
     }
 
@@ -94,14 +132,15 @@ impl AddressMap {
     ///
     /// Panics if the address is beyond the last unit's range.
     pub fn home_unit(&self, addr: DataAddr) -> UnitId {
-        let unit = (addr.0 / self.bank_bytes) as u32;
+        let unit = div_p2(addr.0, self.bank_bytes, self.bank_shift) as u32;
         assert!(unit < self.total_units, "address {addr} beyond data space");
         UnitId(unit)
     }
 
     /// The block containing an address.
+    #[inline]
     pub fn block_of(&self, addr: DataAddr) -> BlockAddr {
-        BlockAddr(addr.0 / self.block_bytes as u64)
+        BlockAddr(div_p2(addr.0, self.block_bytes as u64, self.block_shift))
     }
 
     /// First byte address of a block.
@@ -126,8 +165,13 @@ impl AddressMap {
 
     /// The DRAM row (within its bank) an address falls in; used by the
     /// bank model for open-row hit/miss decisions.
+    #[inline]
     pub fn row_of(&self, addr: DataAddr) -> u64 {
-        (addr.0 % self.bank_bytes) / self.row_bytes as u64
+        div_p2(
+            rem_p2(addr.0, self.bank_bytes, self.bank_shift),
+            self.row_bytes as u64,
+            self.row_shift,
+        )
     }
 
     /// Number of blocks per bank.
@@ -136,8 +180,15 @@ impl AddressMap {
     }
 
     /// The block's index within its home bank (for `isLent` bitmaps).
+    #[inline]
     pub fn block_index_in_bank(&self, block: BlockAddr) -> u64 {
-        block.0 % self.blocks_per_bank()
+        // blocks_per_bank = bank_bytes / block_bytes, a power of two
+        // exactly when both are (block size divides bank size).
+        let shift = match (self.bank_shift, self.block_shift) {
+            (Some(b), Some(k)) => Some(b - k),
+            _ => p2_shift(self.blocks_per_bank()),
+        };
+        rem_p2(block.0, self.blocks_per_bank(), shift)
     }
 }
 

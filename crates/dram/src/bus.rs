@@ -73,7 +73,16 @@ impl Bus {
 
     /// Time needed to move `bytes` once the link is free.
     pub fn transfer_time(&self, bytes: u64) -> SimTime {
-        SimTime::from_ticks(((bytes * 8).div_ceil(self.bits_per_tick as u64)).max(1))
+        // Shift instead of hardware divide for power-of-two link widths
+        // (all evaluated configurations); results are identical.
+        let bits = bytes * 8;
+        let w = self.bits_per_tick as u64;
+        let ticks = if w.is_power_of_two() {
+            (bits + w - 1) >> w.trailing_zeros()
+        } else {
+            bits.div_ceil(w)
+        };
+        SimTime::from_ticks(ticks.max(1))
     }
 
     /// Reserves the earliest window of `bytes` starting no sooner than

@@ -77,6 +77,21 @@ pub struct UnitPosition {
     pub bank: u32,
 }
 
+/// `(x / d, x % d)` with the divide strength-reduced to shifts when `d`
+/// is a power of two — which every evaluated geometry's per-rank and
+/// per-chip unit counts are. Unit→rank/chip/bank decomposition runs on
+/// the per-message hot path, where the hardware divide is the dominant
+/// cost; the power-of-two test itself is two cheap ALU ops. Shift and
+/// divide agree exactly, so callers see identical values either way.
+#[inline(always)]
+fn divmod_p2(x: u32, d: u32) -> (u32, u32) {
+    if d.is_power_of_two() {
+        (x >> d.trailing_zeros(), x & (d - 1))
+    } else {
+        (x / d, x % d)
+    }
+}
+
 /// Static description of the DRAM hierarchy.
 ///
 /// # Example
@@ -203,20 +218,20 @@ impl Geometry {
     /// Panics if `unit` is out of range.
     pub fn position(&self, unit: UnitId) -> UnitPosition {
         assert!(unit.0 < self.total_units(), "unit {unit} out of range");
-        let upr = self.units_per_rank();
-        let rank = unit.0 / upr;
-        let within = unit.0 % upr;
+        let (rank, within) = divmod_p2(unit.0, self.units_per_rank());
+        let (chip, bank) = divmod_p2(within, self.banks_per_chip);
         UnitPosition {
-            channel: ChannelId(rank / self.ranks_per_channel),
+            channel: ChannelId(divmod_p2(rank, self.ranks_per_channel).0),
             rank: RankId(rank),
-            chip: within / self.banks_per_chip,
-            bank: within % self.banks_per_chip,
+            chip,
+            bank,
         }
     }
 
     /// The rank containing `unit`.
+    #[inline]
     pub fn rank_of(&self, unit: UnitId) -> RankId {
-        RankId(unit.0 / self.units_per_rank())
+        RankId(divmod_p2(unit.0, self.units_per_rank()).0)
     }
 
     /// The channel a rank is attached to.

@@ -51,7 +51,17 @@ impl DramTiming {
 
     /// Data transfer time for `bytes` through one bank's IO pins.
     pub fn burst_time(&self, bytes: u32) -> SimTime {
-        SimTime::from_ticks(((bytes as u64 * 8).div_ceil(self.bank_io_bits as u64)).max(1))
+        // Runs once per bank access: shift instead of hardware divide
+        // when the IO width is a power of two (it always is in
+        // practice), with identical results either way.
+        let bits = bytes as u64 * 8;
+        let io = self.bank_io_bits as u64;
+        let ticks = if io.is_power_of_two() {
+            (bits + io - 1) >> io.trailing_zeros()
+        } else {
+            bits.div_ceil(io)
+        };
+        SimTime::from_ticks(ticks.max(1))
     }
 
     /// Latency of an access that hits the open row: CAS + burst.

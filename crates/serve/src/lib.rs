@@ -103,6 +103,15 @@ pub struct State {
     par_shards: AtomicU64,
     par_windows: AtomicU64,
     par_stall_ns: AtomicU64,
+    // Last-completed-run throughput snapshot (latest writer wins):
+    // simulated event count and submit→completion wall time, surfaced
+    // as events/sec by `/metrics` so a resident server exposes the same
+    // headline number `repro bench` prints. Zeros until a point
+    // completes; cache fast-path hits simulate nothing and leave it
+    // untouched.
+    last_events: AtomicU64,
+    last_wall_ns: AtomicU64,
+    completed: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -127,6 +136,9 @@ impl State {
             par_shards: AtomicU64::new(0),
             par_windows: AtomicU64::new(0),
             par_stall_ns: AtomicU64::new(0),
+            last_events: AtomicU64::new(0),
+            last_wall_ns: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         })
     }
@@ -235,10 +247,17 @@ impl State {
                 self.in_flight.fetch_add(1, Ordering::SeqCst);
                 let ticket = self.sweeper.submit(point);
                 let state = Arc::clone(self);
+                let submitted = std::time::Instant::now();
                 // One lightweight waiter per unique point bridges the
                 // pool's ticket to every job attached to the cell.
                 thread::spawn(move || {
                     let result = ticket.wait();
+                    let wall = submitted.elapsed();
+                    state.last_events.store(result.events, Ordering::SeqCst);
+                    state
+                        .last_wall_ns
+                        .store(wall.as_nanos() as u64, Ordering::SeqCst);
+                    state.completed.fetch_add(1, Ordering::SeqCst);
                     if let Some(p) = result.parallel {
                         state
                             .par_shards
@@ -287,18 +306,30 @@ impl State {
 
     /// `GET /metrics`: server counters, windowed parallel-execution
     /// counters (max shard count seen, windows executed, cumulative
-    /// barrier-stall time), plus the engine's live table.
+    /// barrier-stall time), the last completed run's throughput, plus
+    /// the engine's live table.
     pub fn metrics_json(&self) -> String {
+        let last_events = self.last_events.load(Ordering::SeqCst);
+        let last_wall_ns = self.last_wall_ns.load(Ordering::SeqCst);
+        let eps = if last_wall_ns > 0 {
+            last_events as f64 * 1e9 / last_wall_ns as f64
+        } else {
+            0.0
+        };
         format!(
-            "{{\"server\":{{\"accepted\":{},\"rejected\":{},\"deduped\":{},\"cache_hits\":{},\"in_flight\":{}}},\"parallel\":{{\"shards\":{},\"windows\":{},\"barrier_stall_ns\":{}}},\"sweep\":{}}}",
+            "{{\"server\":{{\"accepted\":{},\"rejected\":{},\"deduped\":{},\"cache_hits\":{},\"in_flight\":{},\"completed\":{}}},\"parallel\":{{\"shards\":{},\"windows\":{},\"barrier_stall_ns\":{}}},\"last_run\":{{\"events\":{},\"wall_ns\":{},\"events_per_sec\":{:.1}}},\"sweep\":{}}}",
             self.accepted.load(Ordering::SeqCst),
             self.rejected.load(Ordering::SeqCst),
             self.deduped.load(Ordering::SeqCst),
             self.cache_hits.load(Ordering::SeqCst),
             self.in_flight.load(Ordering::SeqCst),
+            self.completed.load(Ordering::SeqCst),
             self.par_shards.load(Ordering::SeqCst),
             self.par_windows.load(Ordering::SeqCst),
             self.par_stall_ns.load(Ordering::SeqCst),
+            last_events,
+            last_wall_ns,
+            eps,
             self.sweeper.metrics().live_report().to_json(),
         )
     }
@@ -591,13 +622,53 @@ mod tests {
         let doc = state.metrics_json();
         let j = ndpb_bench::json::Json::parse(&doc).expect("valid JSON");
         let server = j.get("server").expect("server block");
-        for k in ["accepted", "rejected", "deduped", "cache_hits", "in_flight"] {
+        for k in [
+            "accepted",
+            "rejected",
+            "deduped",
+            "cache_hits",
+            "in_flight",
+            "completed",
+        ] {
             assert_eq!(server.u64_field(k), Some(0), "{k}");
         }
         let parallel = j.get("parallel").expect("parallel block");
         for k in ["shards", "windows", "barrier_stall_ns"] {
             assert_eq!(parallel.u64_field(k), Some(0), "{k}");
         }
+        // No run has completed: the throughput snapshot is all zeros.
+        let last = j.get("last_run").expect("last_run block");
+        assert_eq!(last.u64_field("events"), Some(0));
+        assert_eq!(last.u64_field("wall_ns"), Some(0));
+        assert_eq!(last.f64_field("events_per_sec"), Some(0.0));
         assert!(j.get("sweep").is_some());
+    }
+
+    #[test]
+    fn metrics_report_last_completed_run_throughput() {
+        let state = test_state(8, 8);
+        let (status, _) = state.dispatch("POST", "/run", "{\"app\":\"ll\",\"design\":\"C\"}");
+        assert_eq!(status, 200);
+        // The waiter thread fills the snapshot when the pool finishes.
+        let deadline = std::time::Instant::now() + Duration::from_secs(120);
+        while state.completed.load(Ordering::SeqCst) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "run never completed; metrics: {}",
+                state.metrics_json()
+            );
+            thread::sleep(Duration::from_millis(10));
+        }
+        let doc = state.metrics_json();
+        let j = ndpb_bench::json::Json::parse(&doc).expect("valid JSON");
+        let last = j.get("last_run").expect("last_run block");
+        assert!(last.u64_field("events").unwrap() > 0, "{doc}");
+        assert!(last.u64_field("wall_ns").unwrap() > 0, "{doc}");
+        assert!(last.f64_field("events_per_sec").unwrap() > 0.0, "{doc}");
+        assert_eq!(
+            j.get("server").unwrap().u64_field("completed"),
+            Some(1),
+            "{doc}"
+        );
     }
 }

@@ -139,6 +139,27 @@ impl<E> EventQueue<E> {
         Some((at, event))
     }
 
+    /// Pops the run of events at the head of the queue — a maximal
+    /// same-tick batch, in exactly the order repeated [`pop`](Self::pop)
+    /// calls would yield it — appending the events to `out` and
+    /// advancing the clock to the shared timestamp.
+    ///
+    /// Returns that timestamp, or `None` if the queue is empty. A run
+    /// never spans ticks; it may cover *less* than a full tick when the
+    /// tick straddles the wheel's near/overflow tiers, in which case the
+    /// next call continues the same tick. Draining a queue through
+    /// `pop_run` is byte-identical to draining it through `pop`
+    /// (`crates/sim/tests/wheel_prop.rs` pins this).
+    #[inline]
+    pub fn pop_run(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        let before = out.len();
+        let (at, _next) = self.wheel.pop_run(self.now, None, out)?;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.popped += (out.len() - before) as u64;
+        Some(at)
+    }
+
     /// Timestamp of the next pending event without popping it.
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {

@@ -197,6 +197,52 @@ impl<E> ShardedEventQueue<E> {
         Some((at, event))
     }
 
+    /// Pops a maximal run of globally-consecutive events from one
+    /// shard — in exactly the order repeated [`pop`](Self::pop) calls
+    /// would yield them — appending the events to `out` and advancing
+    /// the shared clock to their common timestamp, which is returned.
+    ///
+    /// One scan over the cached heads finds both the winning shard
+    /// *and* the best key on any other shard; the winner's wheel then
+    /// drains its front bucket up to that bound
+    /// ([`TimerWheel::pop_run`]), so the per-event cost of the batch is
+    /// one `VecDeque` pop instead of a head scan + bitmap walk + heap
+    /// peek. Equivalence with single pops holds because keys are
+    /// globally unique and every event scheduled *during* the batch's
+    /// dispatch gets a strictly larger seq at `at >= now`, i.e. it
+    /// cannot order before anything already in the batch.
+    #[inline]
+    pub fn pop_run(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        let mut best: Option<((SimTime, u64), usize)> = None;
+        let mut second: Option<(SimTime, u64)> = None;
+        for (s, head) in self.heads.iter().enumerate() {
+            let Some(k) = *head else { continue };
+            match best {
+                Some((bk, _)) if bk < k => {
+                    if second.is_none_or(|sk| k < sk) {
+                        second = Some(k);
+                    }
+                }
+                _ => {
+                    second = best.map(|(bk, _)| bk);
+                    best = Some((k, s));
+                }
+            }
+        }
+        let (_, s) = best?;
+        let base = self.now.max(self.nows[s]);
+        let before = out.len();
+        let (at, next) = self.wheels[s]
+            .pop_run(base, second, out)
+            .expect("cached head vanished");
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.nows[s] = at;
+        self.popped += (out.len() - before) as u64;
+        self.heads[s] = next;
+        Some(at)
+    }
+
     /// Timestamp of the next pending event without popping it.
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {

@@ -411,6 +411,96 @@ impl<E> TimerWheel<E> {
         Some((entry, key))
     }
 
+    /// Drains the *run* at the head of the queue — the maximal prefix of
+    /// same-tick events whose `(time, seq)` keys are strictly below
+    /// `limit` (and below this wheel's own overflow front) — appending
+    /// the events to `out` in pop order.
+    ///
+    /// A live bucket holds exactly one tick's events in seq order, so
+    /// the run is a `VecDeque` prefix: one occupancy-bitmap scan and one
+    /// overflow compare cover the whole batch, where a pop-at-a-time
+    /// loop re-pays both per event. When the overflow front is the
+    /// global minimum (rare — far-future timers), the run is that
+    /// single heap entry.
+    ///
+    /// Returns the run's timestamp and the key of the new front (the
+    /// same pair [`pop_with_key`](Self::pop_with_key) would report after
+    /// the last pop of the run), or `None` if the wheel is empty. The
+    /// caller guarantees the current front key is below `limit`; pop
+    /// order over repeated calls is byte-identical to single pops
+    /// because the run boundary only ever *stops early* at keys that
+    /// must interleave with another tier or another wheel.
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    pub fn pop_run(
+        &mut self,
+        now: SimTime,
+        limit: Option<(SimTime, u64)>,
+        out: &mut Vec<E>,
+    ) -> Option<(SimTime, Option<(SimTime, u64)>)> {
+        let wheel_front = self.front_bucket(now);
+        let overflow_key = self.overflow.peek().map(|o| (o.at, o.seq));
+        let take_overflow = match (wheel_front, overflow_key) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some((at, seq, _)), Some(ok)) => ok < (at, seq),
+        };
+        if take_overflow {
+            // Overflow pops are rare; a one-event run keeps them on the
+            // same proven path as `pop_with_key`.
+            let o = self.overflow.pop().expect("peeked entry vanished");
+            out.push(o.event);
+            let key = self.peek_key(o.at);
+            return Some((o.at, key));
+        }
+        let (at, _, idx) = wheel_front.expect("non-overflow pop with empty wheel");
+        // The run must stop at the caller's limit and at this wheel's
+        // overflow front: an overflow entry can share the tick with a
+        // *smaller* seq (see `overflow_interleaves_with_wheel_by_seq`).
+        let cap = match (limit, overflow_key) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let cap_seq = match cap {
+            None => u64::MAX,
+            Some((ct, _)) if ct > at => u64::MAX,
+            Some((ct, cs)) => {
+                debug_assert!(ct == at, "pop_run limit precedes the front key");
+                cs
+            }
+        };
+        let bucket = &mut self.buckets[idx];
+        let mut popped = 0usize;
+        while let Some(&(_, seq, _)) = bucket.items.front() {
+            if seq >= cap_seq {
+                break;
+            }
+            let (_, _, ev) = bucket.items.pop_front().expect("front vanished");
+            out.push(ev);
+            popped += 1;
+        }
+        debug_assert!(popped > 0, "pop_run front key was not below the limit");
+        self.wheel_len -= popped;
+        let next_near = match bucket.items.front() {
+            Some(&(t, s, _)) => Some((t, s)),
+            None => {
+                self.words[idx >> 6] &= !(1 << (idx & 63));
+                if self.words[idx >> 6] == 0 {
+                    self.summary[idx >> 12] &= !(1 << ((idx >> 6) & 63));
+                }
+                // Every remaining event is >= the drained tick, so it
+                // is a valid scan origin.
+                self.front_bucket(at).map(|(t, s, _)| (t, s))
+            }
+        };
+        let key = match (next_near, overflow_key) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Some((at, key))
+    }
+
     /// `(at, seq, bucket_index)` of the earliest near-tier event, if any.
     #[inline]
     fn front_bucket(&self, now: SimTime) -> Option<(SimTime, u64, usize)> {

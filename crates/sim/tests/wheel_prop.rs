@@ -174,3 +174,151 @@ fn scheduling_before_now_panics() {
     q.pop();
     q.schedule(SimTime::from_ticks(9), ());
 }
+
+// ---- batched same-tick drains (`pop_run`) ------------------------------
+//
+// The batched dispatch loop replaces repeated `pop` calls with
+// `pop_run`, so these properties pin the tentpole contract: draining a
+// queue through runs yields the byte-identical event sequence, run
+// timestamps match the events they carry, and a run never spans ticks —
+// over randomized schedules that cross the horizon (wrap-around) and
+// migrate events from the overflow heap into the near window.
+
+/// Builds two identically-scheduled queues from one random script,
+/// returning (batched queue, single-pop queue).
+fn twin_queues(seed: u64, ops: usize) -> (EventQueue<u32>, EventQueue<u32>) {
+    let mut rng = SimRng::new(seed);
+    let mut a = EventQueue::new();
+    let mut b = EventQueue::new();
+    let mut id = 0u32;
+    for _ in 0..ops {
+        let at = a.now().ticks() + random_offset(&mut rng);
+        let copies = if rng.chance(0.25) { 4 } else { 1 };
+        for _ in 0..copies {
+            a.schedule(SimTime::from_ticks(at), id);
+            b.schedule(SimTime::from_ticks(at), id);
+            id += 1;
+        }
+        // Interleaved draining slides the window so later schedules
+        // exercise wrap-around and overflow→near migration in both.
+        if rng.chance(0.3) {
+            let mut run = Vec::new();
+            a.pop_run(&mut run);
+            for _ in 0..run.len() {
+                b.pop();
+            }
+        }
+    }
+    (a, b)
+}
+
+#[test]
+fn batched_drain_is_byte_identical_to_single_pops() {
+    for seed in 0..8u64 {
+        let (mut a, mut b) = twin_queues(0xBA7C + seed, 3_000);
+        let mut batched = Vec::new();
+        let mut run = Vec::new();
+        while let Some(at) = a.pop_run(&mut run) {
+            for &e in &run {
+                batched.push((at.ticks(), e));
+            }
+            run.clear();
+        }
+        let mut single = Vec::new();
+        while let Some((t, e)) = b.pop() {
+            single.push((t.ticks(), e));
+        }
+        assert_eq!(batched, single, "pop_run diverged from pop (seed {seed})");
+        assert!(a.is_empty() && b.is_empty());
+        assert_eq!(a.popped(), b.popped());
+    }
+}
+
+#[test]
+fn runs_never_span_ticks_and_clock_matches() {
+    for seed in 0..4u64 {
+        let (mut q, _) = twin_queues(0x5EED + seed, 2_000);
+        let mut run = Vec::new();
+        let mut prev: Option<u64> = None;
+        while let Some(at) = q.pop_run(&mut run) {
+            assert!(!run.is_empty(), "empty run returned Some");
+            assert_eq!(q.now(), at, "clock must land on the run's tick");
+            if let Some(p) = prev {
+                assert!(at.ticks() >= p, "run time went backwards");
+            }
+            // All events of one run share one tick by construction; ids
+            // within it are strictly increasing (same-tick FIFO).
+            for w in run.windows(2) {
+                assert!(w[0] < w[1], "same-tick FIFO violated inside a run");
+            }
+            prev = Some(at.ticks());
+            run.clear();
+        }
+    }
+}
+
+#[test]
+fn split_tick_runs_continue_on_the_next_call() {
+    // An event just inside the horizon and one far beyond it can share
+    // a tick once the window slides; the near/overflow split means one
+    // tick may take several runs. The concatenation must still be the
+    // FIFO order.
+    let slots = WHEEL_SLOTS as u64;
+    let mut q = EventQueue::new();
+    let tick = slots + 40;
+    q.schedule(SimTime::from_ticks(3), 0u32); // advances the window
+    q.schedule(SimTime::from_ticks(tick), 1); // overflow at schedule time
+    q.schedule(SimTime::from_ticks(3), 2);
+    q.schedule(SimTime::from_ticks(tick), 3); // also overflow
+    let mut order = Vec::new();
+    let mut run = Vec::new();
+    while let Some(at) = q.pop_run(&mut run) {
+        for &e in &run {
+            order.push((at.ticks(), e));
+        }
+        run.clear();
+    }
+    assert_eq!(order, [(3, 0), (3, 2), (tick, 1), (tick, 3)]);
+}
+
+#[test]
+fn sharded_batched_drain_matches_sharded_single_pops() {
+    use ndpb_sim::ShardedEventQueue;
+    for &shards in &[1usize, 2, 3, 4] {
+        for seed in 0..4u64 {
+            let mut rng = SimRng::new(0xD0_0D + seed);
+            let mut a = ShardedEventQueue::new(shards);
+            let mut b = ShardedEventQueue::new(shards);
+            for id in 0..2_000u32 {
+                let at = a.now().ticks() + random_offset(&mut rng);
+                let shard = rng.next_below(shards as u64) as usize;
+                a.schedule(SimTime::from_ticks(at), shard, id);
+                b.schedule(SimTime::from_ticks(at), shard, id);
+                if rng.chance(0.3) {
+                    let mut run = Vec::new();
+                    a.pop_run(&mut run);
+                    for _ in 0..run.len() {
+                        b.pop();
+                    }
+                }
+            }
+            let mut batched = Vec::new();
+            let mut run = Vec::new();
+            while let Some(at) = a.pop_run(&mut run) {
+                for &e in &run {
+                    batched.push((at.ticks(), e));
+                }
+                run.clear();
+            }
+            let mut single = Vec::new();
+            while let Some((t, e)) = b.pop() {
+                single.push((t.ticks(), e));
+            }
+            assert_eq!(
+                batched, single,
+                "sharded pop_run diverged (shards {shards}, seed {seed})"
+            );
+            assert_eq!(a.popped(), b.popped());
+        }
+    }
+}

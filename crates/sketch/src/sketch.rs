@@ -121,8 +121,18 @@ impl HotSketch {
     }
 
     fn bucket_of(&self, key: u64) -> usize {
-        // Multiplicative hash; the paper indexes by data address.
-        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.config.buckets
+        // Multiplicative hash; the paper indexes by data address. Runs
+        // on every task enqueue, so the reduction to a bucket index is
+        // a mask instead of a hardware divide for power-of-two bucket
+        // counts (the Table I default of 16 included) — bit-identical
+        // to the modulo it replaces.
+        let h = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
+        let n = self.config.buckets;
+        if n.is_power_of_two() {
+            h & (n - 1)
+        } else {
+            h % n
+        }
     }
 
     /// Records a task of `workload` on block `key` (called on every task

@@ -164,6 +164,41 @@ fn cached_results_cross_shard_counts_both_ways() {
 }
 
 #[test]
+fn profiled_runs_are_byte_identical_to_the_sweep() {
+    // `--profile` arms the phase profiler, which forces the serial
+    // batched dispatch loop. The measurement must be invisible: result
+    // bytes (summary JSON and per-epoch metrics) match the unprofiled
+    // sweep output exactly, while the attached stats account for every
+    // popped event.
+    use ndpbridge::bench::run_profiled;
+    for col in [
+        Column::Ndp(DesignPoint::B),
+        Column::Ndp(DesignPoint::O),
+        Column::Host,
+    ] {
+        let plain = Sweeper::new(1).run(vec![SweepPoint::new("tree", col, cfg(), Scale::Tiny)]);
+        let prof = run_profiled("tree", col, cfg(), Scale::Tiny);
+        assert_eq!(
+            prof.to_json(),
+            plain[0].to_json(),
+            "profiling changed result bytes for {}",
+            col.label()
+        );
+        assert_eq!(
+            prof.metrics.to_json(),
+            plain[0].metrics.to_json(),
+            "profiling changed metrics bytes for {}",
+            col.label()
+        );
+        let p = prof.profile.expect("profiled run must attach stats");
+        assert_eq!(p.events, prof.events, "profile lost events");
+        assert!(p.batches > 0 && p.batches <= p.events);
+        assert_eq!(p.run_len_hist.iter().sum::<u64>(), p.batches);
+        assert!(prof.profile.is_some() && plain[0].profile.is_none());
+    }
+}
+
+#[test]
 fn repeating_a_sweep_in_one_process_is_bit_identical() {
     let sweeper = Sweeper::new(4);
     let first = serialize(&sweeper.run(points()));

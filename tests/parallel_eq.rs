@@ -72,14 +72,20 @@ fn assert_matrix(scale: Scale) {
             r.app
         );
     }
-    for shards in [1usize, 2, 4] {
-        let got = Sweeper::new(1).with_shards(shards).run(points(scale));
+    // Jobs (sweep workers) × shards (lanes within one run): both axes
+    // must be invisible, including to the batched same-tick dispatch
+    // loop every serial and exact-merge step now routes through.
+    for (shards, jobs) in [(1usize, 1usize), (1, 2), (2, 1), (2, 2), (4, 1), (4, 2)] {
+        let got = Sweeper::new(jobs).with_shards(shards).run(points(scale));
         let events: Vec<u64> = got.iter().map(|r| r.events).collect();
-        assert_eq!(events, ref_events, "event count drifted at shards={shards}");
+        assert_eq!(
+            events, ref_events,
+            "event count drifted at shards={shards} jobs={jobs}"
+        );
         assert_eq!(
             serialize(&got),
             reference,
-            "shards={shards} must be byte-identical to serial"
+            "shards={shards} jobs={jobs} must be byte-identical to serial"
         );
         if shards == 1 {
             // One shard is the exact-merge path by definition: opting
